@@ -1,0 +1,101 @@
+// Ablation: the parse-once/generate-once filter pipeline (section 3's "parsing
+// and code generation are performed only once for all static services") versus
+// naive service composition where each service re-parses and re-emits the
+// class. Reported as proxy CPU under the paper's cost model.
+#include "bench/bench_util.h"
+#include "src/bytecode/serializer.h"
+#include "src/runtime/syslib.h"
+#include "src/services/monitor_service.h"
+#include "src/services/security_service.h"
+#include "src/services/verify_service.h"
+
+int main() {
+  using namespace dvm;
+  using namespace dvm::bench;
+
+  PrintHeader("Pipeline ablation: shared parse/emit vs per-service parse/emit",
+              "Section 3 design choice");
+
+  AppBundle app = BuildJavacupApp(1);
+  std::vector<ClassFile> library = BuildSystemLibrary();
+  MapClassEnv env;
+  for (const auto& cls : library) {
+    env.Add(&cls);
+  }
+  SecurityPolicy policy = PermissivePolicy();
+
+  ProxyConfig cost;  // use its constants for accounting
+  auto parse_cost = [&](size_t bytes) { return bytes * cost.nanos_per_byte_parse; };
+  auto emit_cost = [&](size_t bytes) { return bytes * cost.nanos_per_byte_emit; };
+
+  auto make_filters = [&]() {
+    std::vector<std::unique_ptr<CodeFilter>> filters;
+    filters.push_back(std::make_unique<VerificationFilter>());
+    filters.push_back(std::make_unique<SecurityFilter>(&policy));
+    filters.push_back(std::make_unique<AuditFilter>());
+    return filters;
+  };
+
+  // Shared: one parse, all filters, one emit.
+  uint64_t shared_nanos = 0;
+  {
+    auto filters = make_filters();
+    for (const ClassFile& cls : app.classes) {
+      Bytes wire = WriteClassFile(cls);
+      shared_nanos += parse_cost(wire.size());
+      auto parsed = ReadClassFile(wire);
+      if (!parsed.ok()) {
+        return 1;
+      }
+      ClassFile current = std::move(parsed).value();
+      for (auto& filter : filters) {
+        FilterContext ctx;
+        ctx.env = &env;
+        auto outcome = filter->Apply(current, ctx);
+        if (!outcome.ok()) {
+          return 1;
+        }
+        if (outcome->replacement.has_value()) {
+          current = std::move(*outcome->replacement);
+        }
+      }
+      shared_nanos += emit_cost(WriteClassFile(current).size());
+    }
+  }
+
+  // Naive: every service parses its input bytes and emits output bytes.
+  uint64_t naive_nanos = 0;
+  {
+    auto filters = make_filters();
+    for (const ClassFile& cls : app.classes) {
+      Bytes wire = WriteClassFile(cls);
+      for (auto& filter : filters) {
+        naive_nanos += parse_cost(wire.size());
+        auto parsed = ReadClassFile(wire);
+        if (!parsed.ok()) {
+          return 1;
+        }
+        ClassFile current = std::move(parsed).value();
+        FilterContext ctx;
+        ctx.env = &env;
+        auto outcome = filter->Apply(current, ctx);
+        if (!outcome.ok()) {
+          return 1;
+        }
+        if (outcome->replacement.has_value()) {
+          current = std::move(*outcome->replacement);
+        }
+        wire = WriteClassFile(current);
+        naive_nanos += emit_cost(wire.size());
+      }
+    }
+  }
+
+  PrintRow({"Composition", "ProxyCPU(s)", "Relative"}, 24);
+  PrintRow({"shared parse/emit", FmtSeconds(shared_nanos), "1.00x"}, 24);
+  PrintRow({"per-service parse/emit", FmtSeconds(naive_nanos),
+            FmtDouble(static_cast<double>(naive_nanos) / shared_nanos) + "x"}, 24);
+  std::printf("\nStacking three services behind one parser amortizes the dominant\n"
+              "per-byte costs — the paper's internal filtering API design.\n");
+  return 0;
+}

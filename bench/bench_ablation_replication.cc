@@ -1,0 +1,61 @@
+// Ablation: proxy replication (section 2: centralization bottlenecks "can be
+// addressed by replicated or recoverable server implementations", section 4.2:
+// "use replicated proxies"). Total proxy CPU time to rewrite a large
+// application population, split across 1..4 replicas routed by class name.
+#include "bench/bench_util.h"
+#include "src/dvm/redirect_client.h"
+#include "src/runtime/syslib.h"
+#include "src/services/verify_service.h"
+#include "src/workloads/applets.h"
+
+int main() {
+  using namespace dvm;
+  using namespace dvm::bench;
+
+  PrintHeader("Proxy replication ablation (rewrite a 60-applet population)",
+              "Sections 2 / 4.2 design choice");
+  PrintRow({"Replicas", "MaxCPU(s)", "TotalCPU(s)", "Speedup"}, 13);
+
+  auto applets = BuildAppletPopulation(60, /*seed=*/23);
+  MapClassProvider origin;
+  InstallSystemLibrary(origin);
+  for (const auto& applet : applets) {
+    applet.InstallInto(&origin);
+  }
+  std::vector<ClassFile> library = BuildSystemLibrary();
+  MapClassEnv env;
+  for (const auto& cls : library) {
+    env.Add(&cls);
+  }
+
+  double single_max = 0;
+  for (size_t replicas : {1u, 2u, 3u, 4u}) {
+    ProxyCluster cluster(replicas, ProxyConfig{}, &env, &origin);
+    for (size_t i = 0; i < cluster.size(); i++) {
+      cluster.replica(i).AddFilter(std::make_unique<VerificationFilter>());
+    }
+    for (const auto& applet : applets) {
+      for (const auto& cls : applet.ClassNames()) {
+        if (!cluster.HandleRequest(cls).ok()) {
+          return 1;
+        }
+      }
+    }
+    // The wall-clock bound is the busiest replica.
+    uint64_t max_cpu = 0;
+    for (size_t i = 0; i < cluster.size(); i++) {
+      max_cpu = std::max(max_cpu, cluster.replica(i).total_cpu_nanos());
+    }
+    if (replicas == 1) {
+      single_max = static_cast<double>(max_cpu);
+    }
+    PrintRow({std::to_string(replicas), FmtSeconds(max_cpu),
+              FmtSeconds(cluster.total_cpu_nanos()),
+              FmtDouble(single_max / static_cast<double>(max_cpu), 2) + "x"},
+             13);
+  }
+  std::printf("\nClass-name routing keeps each replica's cache shard warm; the static\n"
+              "services share no mutable state, so replication is embarrassingly\n"
+              "parallel (the paper's answer to the bottleneck concern).\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 5: description of benchmark applications (name, size, class count).
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dvm;
+  using namespace dvm::bench;
+
+  PrintHeader("Benchmark applications", "Figure 5");
+  PrintRow({"Name", "Size(KB)", "Classes", "PaperKB", "PaperCls", "Description"}, 12);
+
+  struct PaperRef {
+    int kb;
+    int classes;
+  };
+  const PaperRef paper[5] = {{91, 20}, {130, 35}, {825, 241}, {312, 70}, {85, 34}};
+
+  auto apps = BuildFig5Apps(1);
+  for (size_t i = 0; i < apps.size(); i++) {
+    const AppBundle& app = apps[i];
+    PrintRow({app.name, FmtDouble(static_cast<double>(app.TotalBytes()) / 1024.0, 0),
+              std::to_string(app.classes.size()), std::to_string(paper[i].kb),
+              std::to_string(paper[i].classes), app.description},
+             12);
+  }
+  return 0;
+}

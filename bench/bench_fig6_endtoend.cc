@@ -1,0 +1,69 @@
+// Figure 6: end-to-end application performance under monolithic and
+// distributed virtual machines (first bar: monolithic services in the client;
+// second: uncached DVM execution through a fresh proxy; third: subsequent
+// execution served from the proxy's rewrite cache).
+//
+// Expected shape (paper): DVM uncached ~11% slower than monolithic on average;
+// DVM cached faster than monolithic.
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace dvm;
+  using namespace dvm::bench;
+
+  // Per-app work scales calibrated so each run lands near its Figure 6
+  // runtime on the simulated 200 MHz client (jlex ~10 s ... pizza ~105 s).
+  // DVM_FIG6_PERCENT=10 runs a 10x-shorter smoke version.
+  int percent = 100;
+  if (const char* env = std::getenv("DVM_FIG6_PERCENT")) {
+    percent = std::max(1, std::atoi(env));
+  }
+  struct ScaledApp {
+    AppBundle (*build)(int);
+    int scale;
+  };
+  const ScaledApp scaled[] = {{BuildJlexApp, 40},      {BuildJavacupApp, 36},
+                              {BuildPizzaApp, 36},     {BuildInstantdbApp, 25},
+                              {BuildCassowaryApp, 29}};
+
+  PrintHeader("Application performance: monolithic vs DVM vs DVM cached (seconds)",
+              "Figure 6");
+  PrintRow({"App", "Monolithic", "DVM", "DVMcached", "DVM/mono", "cached/mono"});
+
+  double overhead_sum = 0;
+  int count = 0;
+  for (const ScaledApp& entry : scaled) {
+    AppBundle app = entry.build(std::max(1, entry.scale * percent / 100));
+    EndToEndResult mono = RunMonolithic(app);
+
+    // Uncached: fresh server, first client pays the rewrite.
+    MapClassProvider origin;
+    app.InstallInto(&origin);
+    DvmServerConfig config;
+    config.policy = PermissivePolicy();
+    DvmServer server(std::move(config), &origin);
+    EndToEndResult uncached = RunDvmClient(app, &server);
+    // Cached: same server, second client.
+    EndToEndResult cached = RunDvmClient(app, &server);
+
+    if (mono.printed != uncached.printed || mono.printed != cached.printed) {
+      std::fprintf(stderr, "output mismatch on %s\n", app.name.c_str());
+      return 1;
+    }
+
+    double ratio_uncached =
+        static_cast<double>(uncached.total_nanos) / static_cast<double>(mono.total_nanos);
+    double ratio_cached =
+        static_cast<double>(cached.total_nanos) / static_cast<double>(mono.total_nanos);
+    overhead_sum += ratio_uncached - 1.0;
+    count++;
+    PrintRow({app.name, FmtSeconds(mono.total_nanos), FmtSeconds(uncached.total_nanos),
+              FmtSeconds(cached.total_nanos), FmtDouble(ratio_uncached),
+              FmtDouble(ratio_cached)});
+  }
+  std::printf("\nAverage uncached DVM overhead: %.1f%% (paper: ~11%%)\n",
+              overhead_sum / count * 100.0);
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Shared scaffolding for the figure/table reproduction binaries: fixed-width
+// table printing and the standard experiment wiring (origin + server + client
+// in the three architectures the paper compares).
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/dvm/dvm.h"
+#include "src/workloads/apps.h"
+
+namespace dvm {
+namespace bench {
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string FmtSeconds(uint64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(nanos) / 1e9);
+  return buf;
+}
+
+inline std::string FmtMillis(uint64_t nanos) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", static_cast<double>(nanos) / 1e6);
+  return buf;
+}
+
+inline std::string FmtDouble(double v, int precision = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+// The permissive organization policy used by the end-to-end benchmarks: the
+// paper's Figure 6 policy "forces the DVM services to parse every class and
+// examine every instruction" while permitting the accesses the apps perform.
+inline SecurityPolicy PermissivePolicy() {
+  auto policy = ParseSecurityPolicy(R"(
+    <policy version="1">
+      <domain sid="user" code="app/*"/>
+      <domain sid="user" code="ui/*"/>
+      <domain sid="user" code="applet/*"/>
+      <allow sid="user" operation="*" target="*"/>
+      <hook class="java/io/File" method="open" operation="file.open" target-arg="0"/>
+      <hook class="java/lang/System" method="getProperty" operation="property.get"/>
+    </policy>)");
+  if (!policy.ok()) {
+    std::abort();
+  }
+  return std::move(policy).value();
+}
+
+struct EndToEndResult {
+  uint64_t total_nanos = 0;
+  uint64_t verify_nanos = 0;
+  uint64_t security_nanos = 0;
+  uint64_t transfer_nanos = 0;
+  uint64_t dynamic_checks = 0;
+  std::vector<std::string> printed;
+};
+
+// Runs `app` on a monolithic client (local verification + stack introspection
+// security, null proxy).
+inline EndToEndResult RunMonolithic(const AppBundle& app) {
+  MapClassProvider origin;
+  app.InstallInto(&origin);
+  MonolithicClient client(&origin, PermissivePolicy(), MonolithicMachineConfig(),
+                          MakeEthernet10Mb());
+  auto out = client.RunApp(app.main_class);
+  if (!out.ok() || out->threw) {
+    std::fprintf(stderr, "monolithic run failed for %s\n", app.name.c_str());
+    std::abort();
+  }
+  EndToEndResult result;
+  result.total_nanos = client.machine().virtual_nanos();
+  result.verify_nanos = client.machine().ServiceNanos("verify");
+  result.security_nanos = client.machine().ServiceNanos("security");
+  result.transfer_nanos = client.transfer_nanos();
+  result.dynamic_checks = client.machine().counters().dynamic_verify_checks;
+  result.printed = client.machine().printed();
+  return result;
+}
+
+// Runs `app` as a DVM client of `server` (which must already serve the app's
+// classes). Use a fresh server for "uncached" numbers, a warmed one for
+// "cached" numbers.
+inline EndToEndResult RunDvmClient(const AppBundle& app, DvmServer* server) {
+  DvmClient client(server, DvmMachineConfig(), MakeEthernet10Mb());
+  auto out = client.RunApp(app.main_class);
+  if (!out.ok() || out->threw) {
+    std::fprintf(stderr, "dvm run failed for %s: %s\n", app.name.c_str(),
+                 out.ok() ? out->exception_class.c_str() : out.error().ToString().c_str());
+    std::abort();
+  }
+  EndToEndResult result;
+  result.total_nanos = client.machine().virtual_nanos();
+  result.verify_nanos = client.machine().ServiceNanos("verify");
+  result.security_nanos = client.machine().ServiceNanos("security");
+  result.transfer_nanos = client.transfer_nanos();
+  result.dynamic_checks = client.machine().counters().dynamic_verify_checks;
+  result.printed = client.machine().printed();
+  return result;
+}
+
+// One-shot uncached DVM execution.
+inline EndToEndResult RunDvmFresh(const AppBundle& app, DvmServerConfig config = {}) {
+  MapClassProvider origin;
+  app.InstallInto(&origin);
+  config.policy = PermissivePolicy();
+  DvmServer server(std::move(config), &origin);
+  return RunDvmClient(app, &server);
+}
+
+}  // namespace bench
+}  // namespace dvm
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Mobile-code optimization scenario (paper section 5):
+//
+// A PDA-class client on a 28.8 Kb/s wireless link starts a graphical
+// application. First, a profiling run on the LAN collects the first-use
+// method order; the proxy then repartitions every class at method
+// granularity, so the slow-link client downloads only startup-path code.
+//
+// Build & run:  ./build/examples/mobile_code
+#include <cstdio>
+
+#include "src/dvm/dvm.h"
+#include "src/workloads/graphical.h"
+
+using namespace dvm;
+
+namespace {
+
+SecurityPolicy Policy() {
+  return *ParseSecurityPolicy(R"(
+      <policy version="1">
+        <domain sid="user" code="ui/*"/>
+        <allow sid="user" operation="*" target="*"/>
+      </policy>)");
+}
+
+uint64_t Startup(DvmServer* server, const AppBundle& app, double kbps,
+                 uint64_t* bytes_fetched) {
+  DvmClient client(server, DvmMachineConfig(), MakeModem(kbps), "pda-user", "pda-7");
+  auto out = client.RunApp(app.main_class);
+  if (!out.ok() || out->threw) {
+    std::fprintf(stderr, "startup failed\n");
+    std::abort();
+  }
+  *bytes_fetched = client.bytes_fetched();
+  return client.machine().virtual_nanos();
+}
+
+}  // namespace
+
+int main() {
+  AppBundle app = GenerateGraphicalApp(GraphicalAppSpecs()[2]);  // "hotjava"
+  std::printf("Application: %s (%llu bytes, %zu classes)\n", app.name.c_str(),
+              static_cast<unsigned long long>(app.TotalBytes()), app.classes.size());
+
+  // --- pass 1: profile the startup path on the LAN -------------------------------
+  MapClassProvider profile_origin;
+  app.InstallInto(&profile_origin);
+  DvmServerConfig profile_config;
+  profile_config.enable_profile = true;
+  profile_config.enable_audit = false;
+  profile_config.policy = Policy();
+  DvmServer profile_server(std::move(profile_config), &profile_origin);
+  DvmClient profiler(&profile_server, DvmMachineConfig(), MakeEthernet10Mb());
+  if (!profiler.RunApp(app.main_class).ok()) {
+    return 1;
+  }
+  const auto& first_use = profiler.profiler()->first_use_order();
+  std::printf("Profiling run observed %zu first-use methods; first three:\n",
+              first_use.size());
+  for (size_t i = 0; i < 3 && i < first_use.size(); i++) {
+    std::printf("  %zu. %s\n", i + 1, first_use[i].c_str());
+  }
+
+  // --- pass 2: compare startup over 28.8 Kb/s with and without repartitioning ----
+  std::printf("\n%-22s %-12s %-12s\n", "Configuration", "Startup(s)", "BytesFetched");
+  MapClassProvider base_origin;
+  app.InstallInto(&base_origin);
+  DvmServerConfig base_config;
+  base_config.enable_audit = false;
+  base_config.policy = Policy();
+  DvmServer base_server(std::move(base_config), &base_origin);
+  uint64_t base_bytes = 0;
+  uint64_t base_nanos = Startup(&base_server, app, 28.8, &base_bytes);
+  std::printf("%-22s %-12.1f %-12llu\n", "standard transfer", base_nanos / 1e9,
+              static_cast<unsigned long long>(base_bytes));
+
+  MapClassProvider opt_origin;
+  app.InstallInto(&opt_origin);
+  DvmServerConfig opt_config;
+  opt_config.enable_audit = false;
+  opt_config.repartition_profile = TransferProfile(first_use);
+  opt_config.policy = Policy();
+  DvmServer opt_server(std::move(opt_config), &opt_origin);
+  uint64_t opt_bytes = 0;
+  uint64_t opt_nanos = Startup(&opt_server, app, 28.8, &opt_bytes);
+  std::printf("%-22s %-12.1f %-12llu\n", "repartitioned", opt_nanos / 1e9,
+              static_cast<unsigned long long>(opt_bytes));
+
+  std::printf("\nStart-up improvement: %.1f%%  (bytes saved: %.1f%%)\n",
+              (1.0 - static_cast<double>(opt_nanos) / base_nanos) * 100.0,
+              (1.0 - static_cast<double>(opt_bytes) / base_bytes) * 100.0);
+  std::printf("Neither the client VM nor the origin server was modified — the\n"
+              "repartitioning happened transparently at the proxy.\n");
+  return 0;
+}

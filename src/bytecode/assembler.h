@@ -1,0 +1,43 @@
+// Textual assembly for DVM class files (".dvma"). AssembleText parses the
+// line-oriented syntax below into a ClassFile; ToAssembly emits it back, so
+// classes round-trip  text -> class -> text  and  class -> text -> class
+// with identical semantics. Used by the dvmasm tool and hand-written tests.
+//
+//   ; comment (also "//")
+//   .class app/Hello extends java/lang/Object
+//   .interface some/Iface                     ; repeatable
+//   .field count I flags public static
+//   .method main ()V flags public static
+//     ldc "hello world"
+//     invokestatic java/lang/System println (Ljava/lang/String;)V
+//   label:
+//     iload 0
+//     ifle end
+//     iinc 0 -1
+//     goto label
+//   end:
+//     return
+//   .handler try_start try_end catch_target java/lang/Exception
+//   .end
+//
+// Operand forms: locals/immediates are integers; ldc takes an int, a long
+// ("42L") or a quoted string; field/method ops take "class name descriptor";
+// new/checkcast/instanceof/anewarray take a class name; newarray takes
+// "int" or "long"; branches take a label. Flags: public private protected
+// static final synchronized native abstract interface.
+#ifndef SRC_BYTECODE_ASSEMBLER_H_
+#define SRC_BYTECODE_ASSEMBLER_H_
+
+#include <string>
+
+#include "src/bytecode/classfile.h"
+#include "src/support/result.h"
+
+namespace dvm {
+
+Result<ClassFile> AssembleText(const std::string& text);
+std::string ToAssembly(const ClassFile& cls);
+
+}  // namespace dvm
+
+#endif  // SRC_BYTECODE_ASSEMBLER_H_

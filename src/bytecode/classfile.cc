@@ -1,0 +1,75 @@
+#include "src/bytecode/classfile.h"
+
+namespace dvm {
+
+std::string ClassFile::name() const {
+  auto r = pool_.ClassNameAt(this_class);
+  return r.ok() ? r.value() : "";
+}
+
+std::string ClassFile::super_name() const {
+  if (super_class == 0) {
+    return "";
+  }
+  auto r = pool_.ClassNameAt(super_class);
+  return r.ok() ? r.value() : "";
+}
+
+const MethodInfo* ClassFile::FindMethod(const std::string& method_name,
+                                        const std::string& descriptor) const {
+  for (const auto& m : methods) {
+    if (m.name == method_name && m.descriptor == descriptor) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+MethodInfo* ClassFile::FindMethod(const std::string& method_name, const std::string& descriptor) {
+  for (auto& m : methods) {
+    if (m.name == method_name && m.descriptor == descriptor) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+const FieldInfo* ClassFile::FindField(const std::string& field_name) const {
+  for (const auto& f : fields) {
+    if (f.name == field_name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+const Attribute* ClassFile::FindAttribute(const std::string& attr_name) const {
+  for (const auto& a : attributes) {
+    if (a.name == attr_name) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+void ClassFile::SetAttribute(const std::string& attr_name, Bytes data) {
+  for (auto& a : attributes) {
+    if (a.name == attr_name) {
+      a.data = std::move(data);
+      return;
+    }
+  }
+  attributes.push_back(Attribute{attr_name, std::move(data)});
+}
+
+bool ClassFile::RemoveAttribute(const std::string& attr_name) {
+  for (size_t i = 0; i < attributes.size(); i++) {
+    if (attributes[i].name == attr_name) {
+      attributes.erase(attributes.begin() + static_cast<long>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dvm

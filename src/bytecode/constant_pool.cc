@@ -1,0 +1,189 @@
+#include "src/bytecode/constant_pool.h"
+
+#include "src/support/hash.h"
+
+namespace dvm {
+namespace {
+
+uint64_t MixKey(CpTag tag, uint64_t a, uint64_t b = 0, uint64_t c = 0) {
+  uint64_t h = static_cast<uint64_t>(tag) * 0x9e3779b97f4a7c15ULL;
+  h ^= a + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= c + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+uint16_t ConstantPool::AddEntry(CpEntry entry, uint64_t intern_key) {
+  auto it = intern_.find(intern_key);
+  if (it != intern_.end()) {
+    return it->second;
+  }
+  uint16_t index = static_cast<uint16_t>(entries_.size());
+  entries_.push_back(std::move(entry));
+  intern_[intern_key] = index;
+  return index;
+}
+
+uint16_t ConstantPool::AddUtf8(const std::string& s) {
+  CpEntry e;
+  e.tag = CpTag::kUtf8;
+  e.utf8 = s;
+  return AddEntry(std::move(e), MixKey(CpTag::kUtf8, Fnv1a(s)));
+}
+
+uint16_t ConstantPool::AddInteger(int32_t v) {
+  CpEntry e;
+  e.tag = CpTag::kInteger;
+  e.int_value = v;
+  return AddEntry(std::move(e), MixKey(CpTag::kInteger, static_cast<uint32_t>(v)));
+}
+
+uint16_t ConstantPool::AddLong(int64_t v) {
+  CpEntry e;
+  e.tag = CpTag::kLong;
+  e.long_value = v;
+  return AddEntry(std::move(e), MixKey(CpTag::kLong, static_cast<uint64_t>(v)));
+}
+
+uint16_t ConstantPool::AddClass(const std::string& class_name) {
+  uint16_t name = AddUtf8(class_name);
+  CpEntry e;
+  e.tag = CpTag::kClass;
+  e.ref1 = name;
+  return AddEntry(std::move(e), MixKey(CpTag::kClass, name));
+}
+
+uint16_t ConstantPool::AddString(const std::string& s) {
+  uint16_t utf8 = AddUtf8(s);
+  CpEntry e;
+  e.tag = CpTag::kString;
+  e.ref1 = utf8;
+  return AddEntry(std::move(e), MixKey(CpTag::kString, utf8));
+}
+
+uint16_t ConstantPool::AddFieldRef(const std::string& class_name, const std::string& field_name,
+                                   const std::string& descriptor) {
+  uint16_t cls = AddClass(class_name);
+  uint16_t name = AddUtf8(field_name);
+  uint16_t desc = AddUtf8(descriptor);
+  CpEntry e;
+  e.tag = CpTag::kFieldRef;
+  e.ref1 = cls;
+  e.ref2 = name;
+  e.ref3 = desc;
+  return AddEntry(std::move(e), MixKey(CpTag::kFieldRef, cls, name, desc));
+}
+
+uint16_t ConstantPool::AddMethodRef(const std::string& class_name, const std::string& method_name,
+                                    const std::string& descriptor) {
+  uint16_t cls = AddClass(class_name);
+  uint16_t name = AddUtf8(method_name);
+  uint16_t desc = AddUtf8(descriptor);
+  CpEntry e;
+  e.tag = CpTag::kMethodRef;
+  e.ref1 = cls;
+  e.ref2 = name;
+  e.ref3 = desc;
+  return AddEntry(std::move(e), MixKey(CpTag::kMethodRef, cls, name, desc));
+}
+
+Status ConstantPool::AppendRaw(CpEntry entry) {
+  if (entries_.size() >= 0xFFFF) {
+    return Error{ErrorCode::kCapacity, "constant pool exceeds 65535 entries"};
+  }
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Result<std::string> ConstantPool::Utf8At(uint16_t index) const {
+  if (!HasTag(index, CpTag::kUtf8)) {
+    return Error{ErrorCode::kParseError, "cp index " + std::to_string(index) + " is not Utf8"};
+  }
+  return entries_[index].utf8;
+}
+
+Result<int32_t> ConstantPool::IntegerAt(uint16_t index) const {
+  if (!HasTag(index, CpTag::kInteger)) {
+    return Error{ErrorCode::kParseError, "cp index " + std::to_string(index) + " is not Integer"};
+  }
+  return entries_[index].int_value;
+}
+
+Result<int64_t> ConstantPool::LongAt(uint16_t index) const {
+  if (!HasTag(index, CpTag::kLong)) {
+    return Error{ErrorCode::kParseError, "cp index " + std::to_string(index) + " is not Long"};
+  }
+  return entries_[index].long_value;
+}
+
+Result<std::string> ConstantPool::ClassNameAt(uint16_t index) const {
+  if (!HasTag(index, CpTag::kClass)) {
+    return Error{ErrorCode::kParseError, "cp index " + std::to_string(index) + " is not Class"};
+  }
+  return Utf8At(entries_[index].ref1);
+}
+
+Result<std::string> ConstantPool::StringAt(uint16_t index) const {
+  if (!HasTag(index, CpTag::kString)) {
+    return Error{ErrorCode::kParseError, "cp index " + std::to_string(index) + " is not String"};
+  }
+  return Utf8At(entries_[index].ref1);
+}
+
+Result<MemberRef> ConstantPool::MemberRefAt(uint16_t index, CpTag tag) const {
+  if (!HasTag(index, tag)) {
+    return Error{ErrorCode::kParseError,
+                 "cp index " + std::to_string(index) + " is not a member reference"};
+  }
+  const CpEntry& e = entries_[index];
+  DVM_ASSIGN_OR_RETURN(std::string class_name, ClassNameAt(e.ref1));
+  DVM_ASSIGN_OR_RETURN(std::string member_name, Utf8At(e.ref2));
+  DVM_ASSIGN_OR_RETURN(std::string descriptor, Utf8At(e.ref3));
+  return MemberRef{std::move(class_name), std::move(member_name), std::move(descriptor)};
+}
+
+Result<MemberRef> ConstantPool::FieldRefAt(uint16_t index) const {
+  return MemberRefAt(index, CpTag::kFieldRef);
+}
+
+Result<MemberRef> ConstantPool::MethodRefAt(uint16_t index) const {
+  return MemberRefAt(index, CpTag::kMethodRef);
+}
+
+Status ConstantPool::Validate() const {
+  for (uint16_t i = 1; i < entries_.size(); i++) {
+    const CpEntry& e = entries_[i];
+    switch (e.tag) {
+      case CpTag::kUtf8:
+      case CpTag::kInteger:
+      case CpTag::kLong:
+        break;
+      case CpTag::kClass:
+      case CpTag::kString:
+        if (!HasTag(e.ref1, CpTag::kUtf8)) {
+          return Error{ErrorCode::kVerifyError,
+                       "cp entry " + std::to_string(i) + " references non-Utf8 slot"};
+        }
+        break;
+      case CpTag::kFieldRef:
+      case CpTag::kMethodRef:
+        if (!HasTag(e.ref1, CpTag::kClass) || !HasTag(e.ref2, CpTag::kUtf8) ||
+            !HasTag(e.ref3, CpTag::kUtf8)) {
+          return Error{ErrorCode::kVerifyError,
+                       "cp entry " + std::to_string(i) + " has malformed member reference"};
+        }
+        break;
+      case CpTag::kUnused:
+        if (i != 0) {
+          return Error{ErrorCode::kVerifyError,
+                       "cp entry " + std::to_string(i) + " has unused tag"};
+        }
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dvm

@@ -1,0 +1,94 @@
+// Constant pool for DVM class files. Mirrors the JVM constant pool but flattens
+// NameAndType into the Field/Method reference entries. Index 0 is reserved as
+// "no entry" (e.g. the superclass slot of the root class).
+#ifndef SRC_BYTECODE_CONSTANT_POOL_H_
+#define SRC_BYTECODE_CONSTANT_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace dvm {
+
+enum class CpTag : uint8_t {
+  kUnused = 0,  // slot 0 placeholder
+  kUtf8 = 1,
+  kInteger = 3,
+  kLong = 5,
+  kClass = 7,    // name_index -> Utf8
+  kString = 8,   // utf8_index -> Utf8
+  kFieldRef = 9,  // class_index -> Class, name/desc -> Utf8
+  kMethodRef = 10,
+};
+
+struct CpEntry {
+  CpTag tag = CpTag::kUnused;
+  std::string utf8;      // kUtf8
+  int32_t int_value = 0;  // kInteger
+  int64_t long_value = 0;  // kLong
+  uint16_t ref1 = 0;  // kClass: name; kString: utf8; kFieldRef/kMethodRef: class
+  uint16_t ref2 = 0;  // kFieldRef/kMethodRef: member name
+  uint16_t ref3 = 0;  // kFieldRef/kMethodRef: descriptor
+};
+
+// Resolved view of a field or method reference.
+struct MemberRef {
+  std::string class_name;
+  std::string member_name;
+  std::string descriptor;
+
+  std::string ToString() const { return class_name + "." + member_name + ":" + descriptor; }
+};
+
+class ConstantPool {
+ public:
+  ConstantPool() { entries_.push_back(CpEntry{}); }
+
+  // Interning adders: return the existing index when an equal entry exists.
+  uint16_t AddUtf8(const std::string& s);
+  uint16_t AddInteger(int32_t v);
+  uint16_t AddLong(int64_t v);
+  uint16_t AddClass(const std::string& class_name);
+  uint16_t AddString(const std::string& s);
+  uint16_t AddFieldRef(const std::string& class_name, const std::string& field_name,
+                       const std::string& descriptor);
+  uint16_t AddMethodRef(const std::string& class_name, const std::string& method_name,
+                        const std::string& descriptor);
+
+  // Raw append for the deserializer (no interning).
+  Status AppendRaw(CpEntry entry);
+
+  size_t size() const { return entries_.size(); }
+  const CpEntry& entry(uint16_t index) const { return entries_[index]; }
+  bool IsValidIndex(uint16_t index) const { return index > 0 && index < entries_.size(); }
+  bool HasTag(uint16_t index, CpTag tag) const {
+    return IsValidIndex(index) && entries_[index].tag == tag;
+  }
+
+  // Checked accessors used by the verifier and the interpreter.
+  Result<std::string> Utf8At(uint16_t index) const;
+  Result<int32_t> IntegerAt(uint16_t index) const;
+  Result<int64_t> LongAt(uint16_t index) const;
+  Result<std::string> ClassNameAt(uint16_t index) const;
+  Result<std::string> StringAt(uint16_t index) const;
+  Result<MemberRef> FieldRefAt(uint16_t index) const;
+  Result<MemberRef> MethodRefAt(uint16_t index) const;
+
+  // Structural self-check: every cross-reference points at an entry of the right
+  // tag. This is part of verification phase 1.
+  Status Validate() const;
+
+ private:
+  uint16_t AddEntry(CpEntry entry, uint64_t intern_key);
+  Result<MemberRef> MemberRefAt(uint16_t index, CpTag tag) const;
+
+  std::vector<CpEntry> entries_;
+  std::unordered_map<uint64_t, uint16_t> intern_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_BYTECODE_CONSTANT_POOL_H_

@@ -1,0 +1,105 @@
+#include "src/bytecode/descriptor.h"
+
+namespace dvm {
+namespace {
+
+// Consumes one type descriptor starting at *pos; returns false on malformed input.
+bool ConsumeType(const std::string& desc, size_t* pos) {
+  if (*pos >= desc.size()) {
+    return false;
+  }
+  switch (desc[*pos]) {
+    case 'I':
+    case 'J':
+      (*pos)++;
+      return true;
+    case '[':
+      (*pos)++;
+      return ConsumeType(desc, pos);
+    case 'L': {
+      size_t semi = desc.find(';', *pos);
+      if (semi == std::string::npos || semi == *pos + 1) {
+        return false;
+      }
+      *pos = semi + 1;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool IsValidTypeDescriptor(const std::string& desc) {
+  size_t pos = 0;
+  return ConsumeType(desc, &pos) && pos == desc.size();
+}
+
+bool IsValidReturnDescriptor(const std::string& desc) {
+  return desc == "V" || IsValidTypeDescriptor(desc);
+}
+
+bool IsReferenceDescriptor(const std::string& desc) {
+  return !desc.empty() && (desc[0] == 'L' || desc[0] == '[');
+}
+
+bool IsArrayDescriptor(const std::string& desc) { return !desc.empty() && desc[0] == '['; }
+
+Result<MethodSignature> ParseMethodDescriptor(const std::string& desc) {
+  if (desc.empty() || desc[0] != '(') {
+    return Error{ErrorCode::kParseError, "method descriptor must start with '(': " + desc};
+  }
+  MethodSignature sig;
+  size_t pos = 1;
+  while (pos < desc.size() && desc[pos] != ')') {
+    size_t start = pos;
+    if (!ConsumeType(desc, &pos)) {
+      return Error{ErrorCode::kParseError, "malformed parameter in descriptor: " + desc};
+    }
+    sig.params.push_back(desc.substr(start, pos - start));
+  }
+  if (pos >= desc.size() || desc[pos] != ')') {
+    return Error{ErrorCode::kParseError, "unterminated parameter list in descriptor: " + desc};
+  }
+  pos++;
+  sig.return_type = desc.substr(pos);
+  if (!IsValidReturnDescriptor(sig.return_type)) {
+    return Error{ErrorCode::kParseError, "malformed return type in descriptor: " + desc};
+  }
+  return sig;
+}
+
+std::string MakeMethodDescriptor(const std::vector<std::string>& params,
+                                 const std::string& return_type) {
+  std::string out = "(";
+  for (const auto& p : params) {
+    out += p;
+  }
+  out += ")";
+  out += return_type;
+  return out;
+}
+
+std::string ClassNameFromDescriptor(const std::string& desc) {
+  if (desc.size() >= 2 && desc.front() == 'L' && desc.back() == ';') {
+    return desc.substr(1, desc.size() - 2);
+  }
+  return desc;  // array descriptors name themselves
+}
+
+std::string DescriptorFromClassName(const std::string& class_name) {
+  if (!class_name.empty() && class_name[0] == '[') {
+    return class_name;  // already an array descriptor
+  }
+  return "L" + class_name + ";";
+}
+
+std::string ArrayElementDescriptor(const std::string& desc) {
+  if (desc.empty() || desc[0] != '[') {
+    return desc;
+  }
+  return desc.substr(1);
+}
+
+}  // namespace dvm

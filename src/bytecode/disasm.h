@@ -1,0 +1,19 @@
+// Textual disassembly of class files, for debugging, the administration
+// console's audit views, and golden tests of the rewriting services.
+#ifndef SRC_BYTECODE_DISASM_H_
+#define SRC_BYTECODE_DISASM_H_
+
+#include <string>
+
+#include "src/bytecode/classfile.h"
+
+namespace dvm {
+
+// One line per instruction: "  12: invokestatic dvm/rt/RTVerifier.CheckField:(...)V".
+std::string DisassembleMethod(const ClassFile& cls, const MethodInfo& method);
+// Full class listing: header, fields, then every method body.
+std::string DisassembleClass(const ClassFile& cls);
+
+}  // namespace dvm
+
+#endif  // SRC_BYTECODE_DISASM_H_

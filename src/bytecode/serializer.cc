@@ -1,0 +1,212 @@
+#include "src/bytecode/serializer.h"
+
+namespace dvm {
+namespace {
+
+void WriteAttributes(ByteWriter& w, const std::vector<Attribute>& attrs) {
+  w.U16(static_cast<uint16_t>(attrs.size()));
+  for (const auto& a : attrs) {
+    w.Str(a.name);
+    w.U32(static_cast<uint32_t>(a.data.size()));
+    w.Raw(a.data);
+  }
+}
+
+Result<std::vector<Attribute>> ReadAttributes(ByteReader& r) {
+  DVM_ASSIGN_OR_RETURN(uint16_t count, r.U16());
+  std::vector<Attribute> attrs;
+  attrs.reserve(count);
+  for (uint16_t i = 0; i < count; i++) {
+    Attribute a;
+    DVM_ASSIGN_OR_RETURN(a.name, r.Str());
+    DVM_ASSIGN_OR_RETURN(uint32_t len, r.U32());
+    DVM_ASSIGN_OR_RETURN(a.data, r.Raw(len));
+    attrs.push_back(std::move(a));
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Bytes WriteClassFile(const ClassFile& cls) {
+  ByteWriter w;
+  w.U32(ClassFile::kMagic);
+  w.U16(ClassFile::kVersion);
+
+  const ConstantPool& pool = cls.pool();
+  w.U16(static_cast<uint16_t>(pool.size()));
+  for (uint16_t i = 1; i < pool.size(); i++) {
+    const CpEntry& e = pool.entry(i);
+    w.U8(static_cast<uint8_t>(e.tag));
+    switch (e.tag) {
+      case CpTag::kUtf8:
+        w.Str(e.utf8);
+        break;
+      case CpTag::kInteger:
+        w.I32(e.int_value);
+        break;
+      case CpTag::kLong:
+        w.I64(e.long_value);
+        break;
+      case CpTag::kClass:
+      case CpTag::kString:
+        w.U16(e.ref1);
+        break;
+      case CpTag::kFieldRef:
+      case CpTag::kMethodRef:
+        w.U16(e.ref1);
+        w.U16(e.ref2);
+        w.U16(e.ref3);
+        break;
+      case CpTag::kUnused:
+        break;
+    }
+  }
+
+  w.U16(cls.access_flags);
+  w.U16(cls.this_class);
+  w.U16(cls.super_class);
+  w.U16(static_cast<uint16_t>(cls.interfaces.size()));
+  for (uint16_t iface : cls.interfaces) {
+    w.U16(iface);
+  }
+
+  w.U16(static_cast<uint16_t>(cls.fields.size()));
+  for (const auto& f : cls.fields) {
+    w.U16(f.access_flags);
+    w.Str(f.name);
+    w.Str(f.descriptor);
+    WriteAttributes(w, f.attributes);
+  }
+
+  w.U16(static_cast<uint16_t>(cls.methods.size()));
+  for (const auto& m : cls.methods) {
+    w.U16(m.access_flags);
+    w.Str(m.name);
+    w.Str(m.descriptor);
+    w.U8(m.code.has_value() ? 1 : 0);
+    if (m.code.has_value()) {
+      const CodeAttr& c = *m.code;
+      w.U16(c.max_stack);
+      w.U16(c.max_locals);
+      w.U32(static_cast<uint32_t>(c.code.size()));
+      w.Raw(c.code);
+      w.U16(static_cast<uint16_t>(c.handlers.size()));
+      for (const auto& h : c.handlers) {
+        w.U16(h.start_pc);
+        w.U16(h.end_pc);
+        w.U16(h.handler_pc);
+        w.U16(h.catch_type);
+      }
+    }
+    WriteAttributes(w, m.attributes);
+  }
+
+  WriteAttributes(w, cls.attributes);
+  return w.Take();
+}
+
+Result<ClassFile> ReadClassFile(const Bytes& data) {
+  ByteReader r(data);
+  DVM_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != ClassFile::kMagic) {
+    return Error{ErrorCode::kParseError, "bad class file magic"};
+  }
+  DVM_ASSIGN_OR_RETURN(uint16_t version, r.U16());
+  if (version != ClassFile::kVersion) {
+    return Error{ErrorCode::kParseError, "unsupported class file version"};
+  }
+
+  ClassFile cls;
+  DVM_ASSIGN_OR_RETURN(uint16_t cp_count, r.U16());
+  for (uint16_t i = 1; i < cp_count; i++) {
+    DVM_ASSIGN_OR_RETURN(uint8_t tag_raw, r.U8());
+    CpEntry e;
+    e.tag = static_cast<CpTag>(tag_raw);
+    switch (e.tag) {
+      case CpTag::kUtf8: {
+        DVM_ASSIGN_OR_RETURN(e.utf8, r.Str());
+        break;
+      }
+      case CpTag::kInteger: {
+        DVM_ASSIGN_OR_RETURN(e.int_value, r.I32());
+        break;
+      }
+      case CpTag::kLong: {
+        DVM_ASSIGN_OR_RETURN(e.long_value, r.I64());
+        break;
+      }
+      case CpTag::kClass:
+      case CpTag::kString: {
+        DVM_ASSIGN_OR_RETURN(e.ref1, r.U16());
+        break;
+      }
+      case CpTag::kFieldRef:
+      case CpTag::kMethodRef: {
+        DVM_ASSIGN_OR_RETURN(e.ref1, r.U16());
+        DVM_ASSIGN_OR_RETURN(e.ref2, r.U16());
+        DVM_ASSIGN_OR_RETURN(e.ref3, r.U16());
+        break;
+      }
+      default:
+        return Error{ErrorCode::kParseError,
+                     "unknown constant pool tag " + std::to_string(tag_raw)};
+    }
+    DVM_RETURN_IF_ERROR(cls.pool().AppendRaw(std::move(e)));
+  }
+
+  DVM_ASSIGN_OR_RETURN(cls.access_flags, r.U16());
+  DVM_ASSIGN_OR_RETURN(cls.this_class, r.U16());
+  DVM_ASSIGN_OR_RETURN(cls.super_class, r.U16());
+  DVM_ASSIGN_OR_RETURN(uint16_t iface_count, r.U16());
+  for (uint16_t i = 0; i < iface_count; i++) {
+    DVM_ASSIGN_OR_RETURN(uint16_t iface, r.U16());
+    cls.interfaces.push_back(iface);
+  }
+
+  DVM_ASSIGN_OR_RETURN(uint16_t field_count, r.U16());
+  for (uint16_t i = 0; i < field_count; i++) {
+    FieldInfo f;
+    DVM_ASSIGN_OR_RETURN(f.access_flags, r.U16());
+    DVM_ASSIGN_OR_RETURN(f.name, r.Str());
+    DVM_ASSIGN_OR_RETURN(f.descriptor, r.Str());
+    DVM_ASSIGN_OR_RETURN(f.attributes, ReadAttributes(r));
+    cls.fields.push_back(std::move(f));
+  }
+
+  DVM_ASSIGN_OR_RETURN(uint16_t method_count, r.U16());
+  for (uint16_t i = 0; i < method_count; i++) {
+    MethodInfo m;
+    DVM_ASSIGN_OR_RETURN(m.access_flags, r.U16());
+    DVM_ASSIGN_OR_RETURN(m.name, r.Str());
+    DVM_ASSIGN_OR_RETURN(m.descriptor, r.Str());
+    DVM_ASSIGN_OR_RETURN(uint8_t has_code, r.U8());
+    if (has_code != 0) {
+      CodeAttr c;
+      DVM_ASSIGN_OR_RETURN(c.max_stack, r.U16());
+      DVM_ASSIGN_OR_RETURN(c.max_locals, r.U16());
+      DVM_ASSIGN_OR_RETURN(uint32_t code_len, r.U32());
+      DVM_ASSIGN_OR_RETURN(c.code, r.Raw(code_len));
+      DVM_ASSIGN_OR_RETURN(uint16_t handler_count, r.U16());
+      for (uint16_t h = 0; h < handler_count; h++) {
+        ExceptionHandler handler;
+        DVM_ASSIGN_OR_RETURN(handler.start_pc, r.U16());
+        DVM_ASSIGN_OR_RETURN(handler.end_pc, r.U16());
+        DVM_ASSIGN_OR_RETURN(handler.handler_pc, r.U16());
+        DVM_ASSIGN_OR_RETURN(handler.catch_type, r.U16());
+        c.handlers.push_back(handler);
+      }
+      m.code = std::move(c);
+    }
+    DVM_ASSIGN_OR_RETURN(m.attributes, ReadAttributes(r));
+    cls.methods.push_back(std::move(m));
+  }
+
+  DVM_ASSIGN_OR_RETURN(cls.attributes, ReadAttributes(r));
+  if (!r.AtEnd()) {
+    return Error{ErrorCode::kParseError, "trailing bytes after class file"};
+  }
+  return cls;
+}
+
+}  // namespace dvm

@@ -1,0 +1,18 @@
+// Binary (de)serialization of class files — the wire format that the proxy
+// parses, rewrites and regenerates, and that the network simulator charges
+// transfer time for. WriteClassFile(ReadClassFile(b)) == b for well-formed b.
+#ifndef SRC_BYTECODE_SERIALIZER_H_
+#define SRC_BYTECODE_SERIALIZER_H_
+
+#include "src/bytecode/classfile.h"
+#include "src/support/bytes.h"
+#include "src/support/result.h"
+
+namespace dvm {
+
+Bytes WriteClassFile(const ClassFile& cls);
+Result<ClassFile> ReadClassFile(const Bytes& data);
+
+}  // namespace dvm
+
+#endif  // SRC_BYTECODE_SERIALIZER_H_

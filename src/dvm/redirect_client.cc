@@ -1,0 +1,78 @@
+#include "src/dvm/redirect_client.h"
+
+#include <cassert>
+
+#include "src/services/verify_service.h"
+#include "src/support/hash.h"
+
+namespace dvm {
+
+RedirectingClient::RedirectingClient(DvmServer* server, ClassProvider* direct,
+                                     MachineConfig machine_config, SimLink link)
+    : server_(server), direct_(direct), link_(link) {
+  assert(server_->config().proxy.sign_output &&
+         "redirect protocol requires a signing proxy");
+  machine_ = std::make_unique<Machine>(machine_config, this);
+  InstallVerifierRuntime(*machine_);
+  enforcement_ = std::make_unique<EnforcementManager>(&server_->security_server());
+  enforcement_->Install(*machine_);
+  audit_ = std::make_unique<AuditSession>(&server_->console(), "redirect-user",
+                                          "redirect-client");
+  audit_->Install(*machine_);
+  profiler_ = std::make_unique<ProfileCollector>(&server_->console(), audit_->session_id());
+  profiler_->Install(*machine_);
+}
+
+Result<Bytes> RedirectingClient::FetchClass(const std::string& class_name) {
+  // Signature-verification work on the client (keyed digest over the class).
+  constexpr uint64_t kSignatureCheckNanosPerByte = 35;
+
+  if (direct_ != nullptr) {
+    auto direct_bytes = direct_->FetchClass(class_name);
+    if (direct_bytes.ok()) {
+      uint64_t check_cost = direct_bytes->size() * kSignatureCheckNanosPerByte;
+      machine_->AddNanos(link_.TransmissionTime(direct_bytes->size()) + link_.latency() +
+                         check_cost);
+      Status valid = server_->proxy().signer().VerifyClassBytes(direct_bytes.value());
+      if (valid.ok()) {
+        direct_hits_++;
+        return direct_bytes;
+      }
+      rejected_signatures_++;
+    }
+  }
+
+  // Redirect to the centralized services.
+  redirects_++;
+  DVM_ASSIGN_OR_RETURN(ProxyResponse response, server_->proxy().HandleRequest(class_name));
+  machine_->AddNanos(response.cpu_nanos + link_.TransmissionTime(response.data.size()) +
+                     link_.latency());
+  return response.data;
+}
+
+Result<CallOutcome> RedirectingClient::RunApp(const std::string& main_class) {
+  enforcement_->SetThreadSid(server_->policy().DomainForClass(main_class));
+  return machine_->RunMain(main_class);
+}
+
+ProxyCluster::ProxyCluster(size_t replicas, ProxyConfig config, const ClassEnv* library_env,
+                           ClassProvider* origin) {
+  assert(replicas > 0);
+  for (size_t i = 0; i < replicas; i++) {
+    proxies_.push_back(std::make_unique<DvmProxy>(config, library_env, origin));
+  }
+}
+
+DvmProxy& ProxyCluster::Route(const std::string& class_name) {
+  return *proxies_[Fnv1a(class_name) % proxies_.size()];
+}
+
+uint64_t ProxyCluster::total_cpu_nanos() const {
+  uint64_t total = 0;
+  for (const auto& proxy : proxies_) {
+    total += proxy->total_cpu_nanos();
+  }
+  return total;
+}
+
+}  // namespace dvm

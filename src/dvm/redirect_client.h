@@ -1,0 +1,76 @@
+// The paper's section 2 deployment variant for environments where code can
+// reach clients without passing through the proxy: "digital signatures
+// attached by the static service components can ensure that the checks are
+// inseparable from applications, and clients can be instructed to redirect
+// incorrectly signed or unsigned code to the centralized services."
+//
+// A RedirectingClient first consults a direct source (peer cache, local disk,
+// an untrusted mirror). Classes that carry a valid organization signature are
+// accepted as-is; unsigned or tampered classes are redirected to the DVM
+// proxy, which rewrites and signs them.
+#ifndef SRC_DVM_REDIRECT_CLIENT_H_
+#define SRC_DVM_REDIRECT_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/dvm/dvm.h"
+
+namespace dvm {
+
+class RedirectingClient : public ClassProvider {
+ public:
+  // `direct` may be null (everything redirects). The server's proxy must have
+  // signing enabled, or every redirected class would bounce forever; the
+  // constructor enforces this.
+  RedirectingClient(DvmServer* server, ClassProvider* direct, MachineConfig machine_config,
+                    SimLink link);
+
+  Machine& machine() { return *machine_; }
+  Result<CallOutcome> RunApp(const std::string& main_class);
+
+  Result<Bytes> FetchClass(const std::string& class_name) override;
+
+  uint64_t direct_hits() const { return direct_hits_; }
+  uint64_t redirects() const { return redirects_; }
+  uint64_t rejected_signatures() const { return rejected_signatures_; }
+
+ private:
+  DvmServer* server_;
+  ClassProvider* direct_;
+  SimLink link_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<EnforcementManager> enforcement_;
+  std::unique_ptr<AuditSession> audit_;
+  std::unique_ptr<ProfileCollector> profiler_;
+  uint64_t direct_hits_ = 0;
+  uint64_t redirects_ = 0;
+  uint64_t rejected_signatures_ = 0;
+};
+
+// A load-balanced bank of proxies sharing one origin — the paper's answer to
+// the single-point-of-failure / bottleneck concern ("can easily be replicated
+// to accommodate large numbers of hosts"). Requests are routed by a stable
+// hash of the class name, so each replica's rewrite cache stays warm for its
+// shard.
+class ProxyCluster {
+ public:
+  ProxyCluster(size_t replicas, ProxyConfig config, const ClassEnv* library_env,
+               ClassProvider* origin);
+
+  DvmProxy& Route(const std::string& class_name);
+  Result<ProxyResponse> HandleRequest(const std::string& class_name) {
+    return Route(class_name).HandleRequest(class_name);
+  }
+
+  size_t size() const { return proxies_.size(); }
+  DvmProxy& replica(size_t index) { return *proxies_[index]; }
+  uint64_t total_cpu_nanos() const;
+
+ private:
+  std::vector<std::unique_ptr<DvmProxy>> proxies_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_DVM_REDIRECT_CLIENT_H_

@@ -1,0 +1,237 @@
+#include "src/policy/xml.h"
+
+#include <cstring>
+
+#include "src/support/strings.h"
+
+namespace dvm {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : input_(input) {}
+
+  Result<XmlNode> ParseDocument() {
+    SkipProlog();
+    DVM_ASSIGN_OR_RETURN(XmlNode root, ParseElement());
+    SkipWhitespaceAndComments();
+    if (pos_ != input_.size()) {
+      return Err("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  Error Err(const std::string& message) const {
+    return Error{ErrorCode::kParseError,
+                 "xml: " + message + " at offset " + std::to_string(pos_)};
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Consume(char c) {
+    if (!AtEnd() && input_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeSeq(const char* s) {
+    size_t len = std::strlen(s);
+    if (input_.compare(pos_, len, s) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' || Peek() == '\r')) {
+      pos_++;
+    }
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (true) {
+      SkipWhitespace();
+      if (ConsumeSeq("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        pos_ = end == std::string::npos ? input_.size() : end + 3;
+        continue;
+      }
+      return;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespaceAndComments();
+    if (ConsumeSeq("<?xml")) {
+      size_t end = input_.find("?>", pos_);
+      pos_ = end == std::string::npos ? input_.size() : end + 2;
+    }
+    SkipWhitespaceAndComments();
+  }
+
+  static bool IsNameChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+           c == '_' || c == '-' || c == '.' || c == ':';
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return Err("expected name");
+    }
+    return input_.substr(start, pos_ - start);
+  }
+
+  std::string DecodeEntities(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); i++) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      if (raw.compare(i, 4, "&lt;") == 0) {
+        out.push_back('<');
+        i += 3;
+      } else if (raw.compare(i, 4, "&gt;") == 0) {
+        out.push_back('>');
+        i += 3;
+      } else if (raw.compare(i, 5, "&amp;") == 0) {
+        out.push_back('&');
+        i += 4;
+      } else if (raw.compare(i, 6, "&quot;") == 0) {
+        out.push_back('"');
+        i += 5;
+      } else if (raw.compare(i, 6, "&apos;") == 0) {
+        out.push_back('\'');
+        i += 5;
+      } else {
+        out.push_back(raw[i]);
+      }
+    }
+    return out;
+  }
+
+  Result<std::pair<std::string, std::string>> ParseAttribute() {
+    DVM_ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipWhitespace();
+    if (!Consume('=')) {
+      return Err("expected '=' after attribute name");
+    }
+    SkipWhitespace();
+    char quote = 0;
+    if (Consume('"')) {
+      quote = '"';
+    } else if (Consume('\'')) {
+      quote = '\'';
+    } else {
+      return Err("expected quoted attribute value");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) {
+      pos_++;
+    }
+    if (AtEnd()) {
+      return Err("unterminated attribute value");
+    }
+    std::string value = DecodeEntities(input_.substr(start, pos_ - start));
+    pos_++;  // closing quote
+    return std::make_pair(std::move(name), std::move(value));
+  }
+
+  Result<XmlNode> ParseElement() {
+    SkipWhitespaceAndComments();
+    if (!Consume('<')) {
+      return Err("expected '<'");
+    }
+    XmlNode node;
+    DVM_ASSIGN_OR_RETURN(node.tag, ParseName());
+
+    while (true) {
+      SkipWhitespace();
+      if (ConsumeSeq("/>")) {
+        return node;
+      }
+      if (Consume('>')) {
+        break;
+      }
+      DVM_ASSIGN_OR_RETURN(auto attr, ParseAttribute());
+      node.attrs[attr.first] = attr.second;
+    }
+
+    // Content: interleaved text, comments and child elements.
+    while (true) {
+      size_t text_start = pos_;
+      while (!AtEnd() && Peek() != '<') {
+        pos_++;
+      }
+      if (pos_ > text_start) {
+        node.text += DecodeEntities(input_.substr(text_start, pos_ - text_start));
+      }
+      if (AtEnd()) {
+        return Err("unterminated element <" + node.tag + ">");
+      }
+      if (ConsumeSeq("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        if (end == std::string::npos) {
+          return Err("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (ConsumeSeq("</")) {
+        DVM_ASSIGN_OR_RETURN(std::string closing, ParseName());
+        if (closing != node.tag) {
+          return Err("mismatched closing tag </" + closing + "> for <" + node.tag + ">");
+        }
+        SkipWhitespace();
+        if (!Consume('>')) {
+          return Err("malformed closing tag");
+        }
+        node.text = Trim(node.text);
+        return node;
+      }
+      DVM_ASSIGN_OR_RETURN(XmlNode child, ParseElement());
+      node.children.push_back(std::move(child));
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const XmlNode* XmlNode::FindChild(const std::string& child_tag) const {
+  for (const auto& child : children) {
+    if (child.tag == child_tag) {
+      return &child;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::FindAll(const std::string& child_tag) const {
+  std::vector<const XmlNode*> out;
+  for (const auto& child : children) {
+    if (child.tag == child_tag) {
+      out.push_back(&child);
+    }
+  }
+  return out;
+}
+
+std::string XmlNode::Attr(const std::string& name, const std::string& fallback) const {
+  auto it = attrs.find(name);
+  return it == attrs.end() ? fallback : it->second;
+}
+
+Result<XmlNode> ParseXml(const std::string& input) { return Parser(input).ParseDocument(); }
+
+}  // namespace dvm

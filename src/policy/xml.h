@@ -1,0 +1,34 @@
+// Minimal XML subset parser for the organization-wide security policy language
+// (paper section 3.2: "a high-level, domain-specific language based on XML").
+// Supports elements, attributes, text content, self-closing tags, comments,
+// the XML declaration, and the five predefined entities.
+#ifndef SRC_POLICY_XML_H_
+#define SRC_POLICY_XML_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace dvm {
+
+struct XmlNode {
+  std::string tag;
+  std::map<std::string, std::string> attrs;
+  std::vector<XmlNode> children;
+  std::string text;  // concatenated character data directly under this element
+
+  const XmlNode* FindChild(const std::string& child_tag) const;
+  std::vector<const XmlNode*> FindAll(const std::string& child_tag) const;
+  // Attribute value or `fallback` when absent.
+  std::string Attr(const std::string& name, const std::string& fallback = "") const;
+  bool HasAttr(const std::string& name) const { return attrs.count(name) > 0; }
+};
+
+// Parses a document with a single root element.
+Result<XmlNode> ParseXml(const std::string& input);
+
+}  // namespace dvm
+
+#endif  // SRC_POLICY_XML_H_

@@ -1,0 +1,59 @@
+#include "src/proxy/cache.h"
+
+namespace dvm {
+
+size_t RewriteCache::SizeOf(const CachedClass& value) {
+  size_t bytes = value.main_class.size();
+  for (const auto& [name, data] : value.extra_classes) {
+    bytes += name.size() + data.size();
+  }
+  return bytes + 64;  // entry bookkeeping
+}
+
+const CachedClass* RewriteCache::Get(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_++;
+    return nullptr;
+  }
+  hits_++;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(key);
+  it->second.lru_pos = lru_.begin();
+  return &it->second.value;
+}
+
+void RewriteCache::Put(const std::string& key, CachedClass value) {
+  size_t bytes = SizeOf(value);
+  if (bytes > capacity_bytes_) {
+    return;  // would evict everything; not worth caching
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    size_bytes_ -= SizeOf(it->second.value);
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  EvictTo(capacity_bytes_ - bytes);
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(value), lru_.begin()};
+  size_bytes_ += bytes;
+}
+
+void RewriteCache::EvictTo(size_t budget) {
+  while (size_bytes_ > budget && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    size_bytes_ -= SizeOf(it->second.value);
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void RewriteCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  size_bytes_ = 0;
+}
+
+}  // namespace dvm

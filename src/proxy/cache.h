@@ -1,0 +1,55 @@
+// The proxy's rewrite cache: rewritten-class bytes keyed by class name and
+// service-configuration version. A hit skips the whole static pipeline, which
+// is what makes "DVM cached" *faster* than a monolithic VM in Figure 6.
+// LRU-evicted under a byte budget (the proxy host has 64 MB in the paper).
+#ifndef SRC_PROXY_CACHE_H_
+#define SRC_PROXY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/bytes.h"
+
+namespace dvm {
+
+struct CachedClass {
+  Bytes main_class;
+  std::vector<std::pair<std::string, Bytes>> extra_classes;
+};
+
+class RewriteCache {
+ public:
+  explicit RewriteCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+  // nullptr on miss. A hit refreshes LRU position.
+  const CachedClass* Get(const std::string& key);
+  void Put(const std::string& key, CachedClass value);
+  void Clear();
+
+  size_t size_bytes() const { return size_bytes_; }
+  size_t entries() const { return entries_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  static size_t SizeOf(const CachedClass& value);
+  void EvictTo(size_t budget);
+
+  size_t capacity_bytes_;
+  size_t size_bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::list<std::string> lru_;  // front = most recent
+  struct Entry {
+    CachedClass value;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_PROXY_CACHE_H_

@@ -1,0 +1,126 @@
+#include "src/proxy/proxy.h"
+
+#include "src/bytecode/serializer.h"
+#include "src/runtime/syslib.h"
+
+namespace dvm {
+
+const ClassFile* DvmProxy::SeenEnv::Lookup(const std::string& class_name) const {
+  auto it = seen_.find(class_name);
+  if (it != seen_.end()) {
+    return it->second.get();
+  }
+  return library_->Lookup(class_name);
+}
+
+void DvmProxy::SeenEnv::Add(ClassFile cls) {
+  std::string name = cls.name();
+  seen_[name] = std::make_unique<ClassFile>(std::move(cls));
+}
+
+DvmProxy::DvmProxy(ProxyConfig config, const ClassEnv* library_env, ClassProvider* origin)
+    : config_(config),
+      env_(library_env),
+      origin_(origin),
+      pipeline_(&env_),
+      cache_(config.cache_capacity_bytes),
+      signer_(config.signing_key) {}
+
+void DvmProxy::AddFilter(std::unique_ptr<CodeFilter> filter) {
+  pipeline_.Add(std::move(filter));
+}
+
+Result<ProxyResponse> DvmProxy::HandleRequest(const std::string& class_name,
+                                              const std::string& platform) {
+  requests_served_++;
+  ProxyResponse response;
+  const std::string cache_key = class_name + "\x1f" + platform;
+
+  if (config_.enable_cache) {
+    if (const CachedClass* cached = cache_.Get(cache_key)) {
+      response.data = cached->main_class;
+      response.extra_classes = cached->extra_classes;
+      response.cache_hit = true;
+      // Serving from the cache is cheap relative to rewriting.
+      response.cpu_nanos =
+          config_.nanos_per_hit_base + response.data.size() * config_.nanos_per_byte_cached;
+      total_cpu_nanos_ += response.cpu_nanos;
+      audit_trail_.push_back("HIT " + class_name);
+      return response;
+    }
+  }
+
+  // Filter-synthesized classes (cold halves from repartitioning) are served
+  // directly; they already went through the pipeline as part of their parent.
+  if (auto it = generated_.find(class_name); it != generated_.end()) {
+    response.data = it->second;
+    response.cpu_nanos =
+        config_.nanos_per_hit_base + response.data.size() * config_.nanos_per_byte_cached;
+    total_cpu_nanos_ += response.cpu_nanos;
+    audit_trail_.push_back("GEN " + class_name);
+    return response;
+  }
+
+  DVM_ASSIGN_OR_RETURN(Bytes origin_bytes, origin_->FetchClass(class_name));
+  response.origin_bytes = origin_bytes.size();
+
+  uint64_t cpu =
+      config_.nanos_per_request_base + origin_bytes.size() * config_.nanos_per_byte_parse;
+
+  // Parse once.
+  DVM_ASSIGN_OR_RETURN(ClassFile parsed, ReadClassFile(origin_bytes));
+  // Record what flowed through so later classes verify against it.
+  env_.Add(parsed);
+
+  // Run the stacked static services.
+  DVM_ASSIGN_OR_RETURN(PipelineResult result, pipeline_.Run(std::move(parsed), platform));
+  cpu += result.checks_performed * config_.nanos_per_check;
+
+  // Generate (and optionally sign) the output binary once.
+  if (config_.sign_output) {
+    DVM_ASSIGN_OR_RETURN(ClassFile rewritten, ReadClassFile(result.class_bytes));
+    result.class_bytes = signer_.SignedBytes(std::move(rewritten));
+    for (auto& [name, data] : result.extra_classes) {
+      DVM_ASSIGN_OR_RETURN(ClassFile extra, ReadClassFile(data));
+      data = signer_.SignedBytes(std::move(extra));
+    }
+  }
+  cpu += result.class_bytes.size() * config_.nanos_per_byte_emit;
+
+  for (const auto& [name, data] : result.extra_classes) {
+    generated_[name] = data;
+  }
+  response.data = result.class_bytes;
+  response.extra_classes = result.extra_classes;
+  response.cpu_nanos = cpu;
+  total_cpu_nanos_ += cpu;
+  audit_trail_.push_back((result.modified ? "REWRITE " : "PASS ") + class_name);
+
+  if (config_.enable_cache) {
+    CachedClass entry;
+    entry.main_class = response.data;
+    entry.extra_classes = response.extra_classes;
+    cache_.Put(cache_key, std::move(entry));
+  }
+  if (served_observer_) {
+    served_observer_(class_name, response.data);
+  }
+  return response;
+}
+
+size_t DvmProxy::MemoryInUse(size_t inflight_requests) const {
+  return cache_.size_bytes() + inflight_requests * config_.workspace_bytes_per_request;
+}
+
+double DvmProxy::ThrashFactor(size_t inflight_requests) const {
+  size_t in_use = MemoryInUse(inflight_requests);
+  if (in_use <= config_.memory_bytes) {
+    return 1.0;
+  }
+  // Past physical memory the host pages; slowdown grows with overcommit.
+  double overcommit =
+      static_cast<double>(in_use) / static_cast<double>(config_.memory_bytes);
+  return 1.0 + 6.0 * (overcommit - 1.0);
+}
+
+}  // namespace dvm

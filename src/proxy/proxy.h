@@ -1,0 +1,128 @@
+// The transparent network proxy housing the static service components
+// (paper sections 2-3). It intercepts class requests, fetches origin bytes,
+// parses once, runs the stacked filter pipeline, generates the instrumented
+// binary once, optionally signs it, caches the result, and logs an audit
+// trail. CPU time per request is accounted so the scaling experiment
+// (Figure 10) can queue requests on a simulated single-CPU server.
+#ifndef SRC_PROXY_PROXY_H_
+#define SRC_PROXY_PROXY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/proxy/cache.h"
+#include "src/proxy/signature.h"
+#include "src/rewrite/filter.h"
+#include "src/runtime/class_registry.h"
+#include "src/verifier/class_env.h"
+
+namespace dvm {
+
+struct ProxyConfig {
+  bool enable_cache = true;
+  size_t cache_capacity_bytes = 48 * 1024 * 1024;  // of the host's 64 MB
+  bool sign_output = false;
+  std::string signing_key = "dvm-organization-key";
+
+  // CPU cost model for the proxy host (200 MHz PentiumPro): parsing dominates,
+  // then per-check service work, then code generation. Calibrated so an
+  // average applet costs ~265 ms to parse and instrument (section 4.1.2).
+  uint64_t nanos_per_request_base = 2'500'000;  // HTTP handling, per request
+  uint64_t nanos_per_byte_parse = 9'000;
+  uint64_t nanos_per_byte_emit = 3'000;
+  uint64_t nanos_per_check = 60;
+  // Cache hits: connection handling plus a cheap read of the stored rewrite.
+  uint64_t nanos_per_hit_base = 600'000;
+  uint64_t nanos_per_byte_cached = 200;
+  // Workspace held while a request is in flight (memory accounting, Fig. 10).
+  size_t workspace_bytes_per_request = 262'144;
+  size_t memory_bytes = 64 * 1024 * 1024;
+};
+
+// One proxied class response.
+struct ProxyResponse {
+  Bytes data;
+  std::vector<std::pair<std::string, Bytes>> extra_classes;  // e.g. $cold splits
+  bool cache_hit = false;
+  uint64_t cpu_nanos = 0;      // proxy CPU consumed by this request
+  uint64_t origin_bytes = 0;   // bytes fetched from the origin server
+};
+
+class DvmProxy {
+ public:
+  // `origin` supplies untransformed class bytes (the web server / Internet);
+  // `library_env` is the trusted system library the verifier can see.
+  DvmProxy(ProxyConfig config, const ClassEnv* library_env, ClassProvider* origin);
+
+  // The pipeline points at the internal environment; the proxy is pinned.
+  DvmProxy(const DvmProxy&) = delete;
+  DvmProxy& operator=(const DvmProxy&) = delete;
+
+  // Adds a static service to the pipeline (order = stacking order).
+  void AddFilter(std::unique_ptr<CodeFilter> filter);
+
+  // Invoked for every class version served from the pipeline (not for cache
+  // hits) with the served bytes; the administration console uses it to keep
+  // the organization's code-version inventory.
+  void SetServedObserver(std::function<void(const std::string&, const Bytes&)> observer) {
+    served_observer_ = std::move(observer);
+  }
+
+  // `platform` is the requesting client's native format (from its handshake);
+  // the cache is keyed on (class, platform) so an x86 client and an Alpha
+  // client each receive code compiled for their own architecture.
+  Result<ProxyResponse> HandleRequest(const std::string& class_name,
+                                      const std::string& platform = "");
+
+  // Drops all rewritten state; used when the service configuration (e.g. the
+  // security policy) changes and classes must be re-instrumented.
+  void InvalidateCache() { cache_.Clear(); }
+
+  const std::vector<std::string>& audit_trail() const { return audit_trail_; }
+  const RewriteCache& cache() const { return cache_; }
+  uint64_t requests_served() const { return requests_served_; }
+  uint64_t total_cpu_nanos() const { return total_cpu_nanos_; }
+  const CodeSigner& signer() const { return signer_; }
+
+  // Memory in use with `inflight` concurrent requests: cache + per-request
+  // workspaces. The Figure 10 degradation appears when this exceeds
+  // config.memory_bytes and the host starts paging.
+  size_t MemoryInUse(size_t inflight_requests) const;
+  // CPU multiplier under memory pressure (1.0 when resident).
+  double ThrashFactor(size_t inflight_requests) const;
+
+ private:
+  // Environment the verifier sees: library + every class this proxy parsed.
+  class SeenEnv : public ClassEnv {
+   public:
+    explicit SeenEnv(const ClassEnv* library) : library_(library) {}
+    const ClassFile* Lookup(const std::string& class_name) const override;
+    void Add(ClassFile cls);
+
+   private:
+    const ClassEnv* library_;
+    std::map<std::string, std::unique_ptr<ClassFile>> seen_;
+  };
+
+  ProxyConfig config_;
+  SeenEnv env_;
+  ClassProvider* origin_;
+  FilterPipeline pipeline_;
+  RewriteCache cache_;
+  CodeSigner signer_;
+  std::vector<std::string> audit_trail_;
+  // Classes synthesized by filters (e.g. "$cold" splits): servable on demand
+  // without going to the origin, independent of the LRU cache.
+  std::map<std::string, Bytes> generated_;
+  std::function<void(const std::string&, const Bytes&)> served_observer_;
+  uint64_t requests_served_ = 0;
+  uint64_t total_cpu_nanos_ = 0;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_PROXY_PROXY_H_

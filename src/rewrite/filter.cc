@@ -1,0 +1,39 @@
+#include "src/rewrite/filter.h"
+
+#include "src/bytecode/serializer.h"
+
+namespace dvm {
+
+Result<PipelineResult> FilterPipeline::Run(const Bytes& class_bytes,
+                                           const std::string& platform) const {
+  DVM_ASSIGN_OR_RETURN(ClassFile cls, ReadClassFile(class_bytes));
+  return Run(std::move(cls), platform);
+}
+
+Result<PipelineResult> FilterPipeline::Run(ClassFile cls, const std::string& platform) const {
+  PipelineResult result;
+  FilterContext ctx;
+  ctx.env = env_;
+  ctx.platform = platform;
+
+  for (const auto& filter : filters_) {
+    DVM_ASSIGN_OR_RETURN(FilterOutcome outcome, filter->Apply(cls, ctx));
+    result.filters_run.push_back(filter->name());
+    result.checks_performed += outcome.checks_performed;
+    result.modified |= outcome.modified;
+    if (outcome.replacement.has_value()) {
+      cls = std::move(*outcome.replacement);
+      result.modified = true;
+    }
+    for (auto& extra : outcome.extra_classes) {
+      result.extra_classes.emplace_back(extra.name(), WriteClassFile(extra));
+      result.modified = true;
+    }
+  }
+
+  result.class_name = cls.name();
+  result.class_bytes = WriteClassFile(cls);
+  return result;
+}
+
+}  // namespace dvm

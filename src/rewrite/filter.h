@@ -1,0 +1,84 @@
+// The proxy's internal filtering API (paper section 3): logically separate
+// services are written as code-transformation filters and stacked according to
+// site-specific requirements. The pipeline parses each class once, runs every
+// filter over the in-memory form, and generates the output binary once —
+// amortizing parse/emit across all static services.
+#ifndef SRC_REWRITE_FILTER_H_
+#define SRC_REWRITE_FILTER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/classfile.h"
+#include "src/support/result.h"
+#include "src/verifier/class_env.h"
+
+namespace dvm {
+
+struct FilterContext {
+  // Classes the proxy knows about: the system library plus everything that has
+  // flowed through it. Never null inside Apply().
+  const ClassEnv* env = nullptr;
+  // Native format of the requesting client, reported during its handshake with
+  // the remote administration service (paper section 3.4). Empty when the
+  // request is platform-neutral; the compilation service keys its output on it.
+  std::string platform;
+};
+
+struct FilterOutcome {
+  bool modified = false;
+  // When set, this class replaces the input entirely (e.g. the verification
+  // service substitutes an error-raising stand-in for a provably bad class).
+  std::optional<ClassFile> replacement;
+  // Additional classes produced by the filter (e.g. cold-code classes emitted
+  // by the repartitioning optimizer). Published alongside the main class.
+  std::vector<ClassFile> extra_classes;
+  // Work metric: number of discrete checks/transformations performed. Feeds
+  // the proxy's throughput accounting (Figure 10).
+  uint64_t checks_performed = 0;
+};
+
+class CodeFilter {
+ public:
+  virtual ~CodeFilter() = default;
+  virtual std::string name() const = 0;
+  virtual Result<FilterOutcome> Apply(ClassFile& cls, const FilterContext& ctx) = 0;
+};
+
+struct PipelineResult {
+  Bytes class_bytes;
+  std::string class_name;
+  std::vector<std::pair<std::string, Bytes>> extra_classes;
+  bool modified = false;
+  uint64_t checks_performed = 0;
+  // Names of filters that ran, in order (audit trail).
+  std::vector<std::string> filters_run;
+};
+
+// Parse-once / emit-once filter stack.
+class FilterPipeline {
+ public:
+  explicit FilterPipeline(const ClassEnv* env) : env_(env) {}
+
+  void Add(std::unique_ptr<CodeFilter> filter) { filters_.push_back(std::move(filter)); }
+  size_t size() const { return filters_.size(); }
+
+  // Runs all filters over the serialized class. Any filter error aborts the
+  // run with that error (the proxy converts verification errors into
+  // replacement classes before this surfaces to clients). `platform` is the
+  // requesting client's native format (may be empty).
+  Result<PipelineResult> Run(const Bytes& class_bytes, const std::string& platform = "") const;
+  // Same, starting from a parsed class (saves the parse when the caller
+  // already has one).
+  Result<PipelineResult> Run(ClassFile cls, const std::string& platform = "") const;
+
+ private:
+  const ClassEnv* env_;
+  std::vector<std::unique_ptr<CodeFilter>> filters_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_REWRITE_FILTER_H_

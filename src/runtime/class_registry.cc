@@ -1,0 +1,158 @@
+#include "src/runtime/class_registry.h"
+
+#include "src/bytecode/descriptor.h"
+#include "src/bytecode/serializer.h"
+
+namespace dvm {
+
+void MapClassProvider::AddClassFile(const ClassFile& cls) {
+  classes_[cls.name()] = WriteClassFile(cls);
+}
+
+Result<Bytes> MapClassProvider::FetchClass(const std::string& class_name) {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) {
+    return Error{ErrorCode::kNotFound, "class not available: " + class_name};
+  }
+  return it->second;
+}
+
+const RuntimeClass* RuntimeClass::FindFieldOwner(const std::string& field_name) const {
+  for (const RuntimeClass* c = this; c != nullptr; c = c->super) {
+    if (c->own_field_slots.count(field_name) > 0 || c->static_slots.count(field_name) > 0) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+const RuntimeClass* RuntimeClass::FindMethodOwner(const std::string& method_name,
+                                                  const std::string& descriptor) const {
+  for (const RuntimeClass* c = this; c != nullptr; c = c->super) {
+    if (c->file.FindMethod(method_name, descriptor) != nullptr) {
+      return c;
+    }
+  }
+  return nullptr;
+}
+
+RuntimeClass* ClassRegistry::FindLoaded(const std::string& class_name) {
+  auto it = classes_.find(class_name);
+  return it == classes_.end() ? nullptr : it->second.get();
+}
+
+const ClassFile* ClassRegistry::Lookup(const std::string& class_name) const {
+  auto it = classes_.find(class_name);
+  return it == classes_.end() ? nullptr : &it->second->file;
+}
+
+Result<RuntimeClass*> ClassRegistry::GetClass(const std::string& class_name) {
+  if (RuntimeClass* loaded = FindLoaded(class_name)) {
+    return loaded;
+  }
+  if (loading_.count(class_name) > 0) {
+    return Error{ErrorCode::kLinkError, "circular superclass chain at " + class_name};
+  }
+  loading_.insert(class_name);
+
+  auto finish = [this, &class_name](auto result) {
+    loading_.erase(class_name);
+    return result;
+  };
+
+  auto fetched = provider_->FetchClass(class_name);
+  if (!fetched.ok()) {
+    return finish(Result<RuntimeClass*>(fetched.error()));
+  }
+  auto parsed = ReadClassFile(fetched.value());
+  if (!parsed.ok()) {
+    return finish(Result<RuntimeClass*>(parsed.error()));
+  }
+  if (parsed->name() != class_name) {
+    return finish(Result<RuntimeClass*>(Error{
+        ErrorCode::kLinkError,
+        "provider returned class " + parsed->name() + " for request " + class_name}));
+  }
+
+  auto rc = std::make_unique<RuntimeClass>();
+  rc->name = class_name;
+  rc->file = std::move(parsed).value();
+
+  // Link the superclass chain first.
+  std::string super_name = rc->file.super_name();
+  if (!super_name.empty()) {
+    auto super = GetClass(super_name);
+    if (!super.ok()) {
+      return finish(Result<RuntimeClass*>(super.error()));
+    }
+    rc->super = super.value();
+  }
+
+  // Field layout: inherited slots first, own fields appended.
+  rc->field_layout_start = rc->super != nullptr ? rc->super->total_instance_fields : 0;
+  uint32_t next_instance = rc->field_layout_start;
+  for (const auto& f : rc->file.fields) {
+    if (f.IsStatic()) {
+      rc->static_slots[f.name] = static_cast<uint32_t>(rc->statics.size());
+      rc->statics.push_back(DefaultValueFor(f.descriptor));
+    } else {
+      rc->own_field_slots[f.name] = next_instance++;
+      rc->own_field_descs.push_back(f.descriptor);
+    }
+  }
+  rc->total_instance_fields = next_instance;
+
+  RuntimeClass* out = rc.get();
+  if (on_load) {
+    Status s = on_load(*out);
+    if (!s.ok()) {
+      return finish(Result<RuntimeClass*>(s.error()));
+    }
+  }
+  classes_[class_name] = std::move(rc);
+  loaded_order_.push_back(class_name);
+  loading_.erase(class_name);
+  return out;
+}
+
+Result<bool> ClassRegistry::IsSubclass(const std::string& sub, const std::string& super) {
+  if (sub == super || super == "java/lang/Object") {
+    return true;
+  }
+  if (!sub.empty() && sub[0] == '[') {
+    if (super.empty() || super[0] != '[') {
+      return false;
+    }
+    std::string se = ArrayElementDescriptor(sub);
+    std::string de = ArrayElementDescriptor(super);
+    if (se == de) {
+      return true;
+    }
+    if (se.size() > 1 && se[0] == 'L' && de.size() > 1 && de[0] == 'L') {
+      return IsSubclass(ClassNameFromDescriptor(se), ClassNameFromDescriptor(de));
+    }
+    return false;
+  }
+  // Force-load the chain; instanceof on an unloadable class is a link error.
+  DVM_ASSIGN_OR_RETURN(RuntimeClass * cls, GetClass(sub));
+  for (const RuntimeClass* c = cls; c != nullptr; c = c->super) {
+    if (c->name == super) {
+      return true;
+    }
+    for (uint16_t idx : c->file.interfaces) {
+      auto name = c->file.pool().ClassNameAt(idx);
+      if (name.ok()) {
+        if (name.value() == super) {
+          return true;
+        }
+        auto via = IsSubclass(name.value(), super);
+        if (via.ok() && via.value()) {
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace dvm

@@ -1,0 +1,155 @@
+// Loaded-class registry: fetches class bytes through a ClassProvider (the
+// network in a real deployment, the simulated network in experiments), parses
+// them, links superclass chains, and computes field layouts. Loading is lazy —
+// a class is fetched the first time something references it, which is what
+// makes the paper's deferred link checks (and its repartitioning optimizer)
+// profitable.
+#ifndef SRC_RUNTIME_CLASS_REGISTRY_H_
+#define SRC_RUNTIME_CLASS_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bytecode/classfile.h"
+#include "src/bytecode/code.h"
+#include "src/runtime/value.h"
+#include "src/support/result.h"
+#include "src/verifier/class_env.h"
+
+namespace dvm {
+
+// Source of class bytes. Implementations: in-memory maps (tests, local apps)
+// and the simulated network client (charges transfer time per fetch).
+class ClassProvider {
+ public:
+  virtual ~ClassProvider() = default;
+  virtual Result<Bytes> FetchClass(const std::string& class_name) = 0;
+};
+
+class MapClassProvider : public ClassProvider {
+ public:
+  void Add(const std::string& class_name, Bytes data) {
+    classes_[class_name] = std::move(data);
+  }
+  void AddClassFile(const ClassFile& cls);
+  Result<Bytes> FetchClass(const std::string& class_name) override;
+  bool Has(const std::string& class_name) const { return classes_.count(class_name) > 0; }
+
+ private:
+  std::map<std::string, Bytes> classes_;
+};
+
+struct RuntimeClass;
+
+// Per-instruction resolution cache ("quickening"): after the first execution
+// of a field access or invoke, the resolved owner/slot/target is remembered so
+// later executions skip constant-pool string resolution. Sound because loaded
+// classes are immutable and initialization is monotonic. invokevirtual uses a
+// monomorphic last-receiver cache with a slow-path fallback.
+struct InlineCache {
+  // Field accesses.
+  RuntimeClass* field_owner = nullptr;
+  uint32_t field_slot = 0;
+  // Invokes.
+  RuntimeClass* invoke_owner = nullptr;
+  const MethodInfo* invoke_method = nullptr;
+  std::string receiver_class;  // invokevirtual: cached dynamic receiver type
+  int arg_count = -1;          // incl. receiver for instance methods; -1 = unresolved
+  bool has_result = false;
+};
+
+// Interpreter-ready method body: decoded instructions and handler table
+// converted to instruction indices. Built lazily, cached per method.
+struct PreparedMethod {
+  const MethodInfo* method = nullptr;
+  std::vector<Instr> code;
+  // Lazily sized to code.size() on first execution; indexed by instruction.
+  std::vector<InlineCache> cache;
+  // True when the class carries a CompiledStamp (translated ahead of time by
+  // the network compiler); such code runs at the compiled-instruction cost.
+  bool compiled = false;
+  struct Handler {
+    uint32_t start_ix = 0;   // [start_ix, end_ix) instruction range
+    uint32_t end_ix = 0;
+    uint32_t handler_ix = 0;
+    std::string catch_class;  // "" = catch all
+  };
+  std::vector<Handler> handlers;
+};
+
+enum class InitState : uint8_t { kUninitialized, kInitializing, kInitialized };
+
+struct RuntimeClass {
+  std::string name;
+  ClassFile file;
+  RuntimeClass* super = nullptr;
+
+  // Instance field layout: slots [0, total_instance_fields) with inherited
+  // fields first. own_field_slots maps names declared *by this class*.
+  uint32_t field_layout_start = 0;
+  uint32_t total_instance_fields = 0;
+  std::unordered_map<std::string, uint32_t> own_field_slots;
+  std::vector<std::string> own_field_descs;  // parallel to declaration order
+
+  // Statics, declared by this class only.
+  std::unordered_map<std::string, uint32_t> static_slots;
+  std::vector<Value> statics;
+
+  InitState init_state = InitState::kUninitialized;
+
+  // Per-method prepared code cache, keyed by "name:descriptor".
+  std::unordered_map<std::string, std::unique_ptr<PreparedMethod>> prepared;
+
+  // Security identifier assigned by policy (used by both the DTOS-style DVM
+  // service and the stack-introspection baseline). Empty = unprivileged.
+  std::string security_domain;
+
+  // Walks this chain for a field declared with `name`; nullptr if absent.
+  const RuntimeClass* FindFieldOwner(const std::string& field_name) const;
+  // Walks this chain for a method; nullptr if absent.
+  const RuntimeClass* FindMethodOwner(const std::string& method_name,
+                                      const std::string& descriptor) const;
+};
+
+class ClassRegistry : public ClassEnv {
+ public:
+  explicit ClassRegistry(ClassProvider* provider) : provider_(provider) {}
+
+  // Loads (if needed) and links the class and its superclass chain. Does not
+  // run <clinit> — initialization is triggered by the interpreter on first
+  // active use.
+  Result<RuntimeClass*> GetClass(const std::string& class_name);
+
+  // Already-loaded lookup; never triggers a fetch.
+  RuntimeClass* FindLoaded(const std::string& class_name);
+
+  // ClassEnv over loaded classes (used by phase-4 checks and checkcast).
+  const ClassFile* Lookup(const std::string& class_name) const override;
+
+  // Invoked after parse/link of each newly loaded class, before it becomes
+  // visible. The machine installs load-time verification here (monolithic
+  // configuration) and accounting. Returning an error aborts the load.
+  std::function<Status(RuntimeClass&)> on_load;
+
+  // Environment queries that force loading (used by instanceof/checkcast and
+  // the dynamic link checker, which may fault in classes).
+  Result<bool> IsSubclass(const std::string& sub, const std::string& super);
+
+  uint64_t loaded_count() const { return loaded_order_.size(); }
+  const std::vector<std::string>& loaded_order() const { return loaded_order_; }
+
+ private:
+  ClassProvider* provider_;
+  std::map<std::string, std::unique_ptr<RuntimeClass>> classes_;
+  std::set<std::string> loading_;  // cycle detection
+  std::vector<std::string> loaded_order_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_RUNTIME_CLASS_REGISTRY_H_

@@ -1,0 +1,233 @@
+#include "src/runtime/guestlib.h"
+
+#include "src/bytecode/builder.h"
+
+namespace dvm {
+namespace {
+
+constexpr uint16_t kPub = AccessFlags::kPublic;
+constexpr const char* kVec = "java/util/Vector";
+constexpr const char* kMap = "java/util/IntMap";
+constexpr const char* kObjArr = "[Ljava/lang/Object;";
+
+ClassFile Must(Result<ClassFile> r) {
+  if (!r.ok()) {
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+}  // namespace
+
+ClassFile BuildGuestVector() {
+  ClassBuilder cb(kVec, "java/lang/Object");
+  cb.AddField(kPub, "elements", kObjArr);
+  cb.AddField(kPub, "count", "I");
+
+  // Vector() { elements = new Object[8]; count = 0; }
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "<init>", "()V");
+    m.Emit(Op::kAload, 0).InvokeSpecial("java/lang/Object", "<init>", "()V");
+    m.Emit(Op::kAload, 0).PushInt(8).ANewArray("java/lang/Object");
+    m.PutField(kVec, "elements", kObjArr);
+    m.Emit(Op::kAload, 0).PushInt(0).PutField(kVec, "count", "I");
+    m.Emit(Op::kReturn);
+  }
+
+  // int size() { return count; }
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "size", "()I");
+    m.Emit(Op::kAload, 0).GetField(kVec, "count", "I").Emit(Op::kIreturn);
+  }
+
+  // void add(Object o) { if (count == elements.length) grow; elements[count++] = o; }
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "add", "(Ljava/lang/Object;)V");
+    Label store = m.NewLabel(), copy = m.NewLabel(), copy_done = m.NewLabel();
+    m.Emit(Op::kAload, 0).GetField(kVec, "count", "I");
+    m.Emit(Op::kAload, 0).GetField(kVec, "elements", kObjArr).Emit(Op::kArraylength);
+    m.Branch(Op::kIfIcmpne, store);
+    // grow: Object[] bigger = new Object[count * 2]; copy; elements = bigger;
+    m.Emit(Op::kAload, 0).GetField(kVec, "count", "I").PushInt(2).Emit(Op::kImul);
+    m.ANewArray("java/lang/Object").StoreLocal(kObjArr, 2);
+    m.PushInt(0).StoreLocal("I", 3);
+    m.Bind(copy);
+    m.LoadLocal("I", 3).Emit(Op::kAload, 0).GetField(kVec, "count", "I");
+    m.Branch(Op::kIfIcmpge, copy_done);
+    m.LoadLocal(kObjArr, 2).LoadLocal("I", 3);
+    m.Emit(Op::kAload, 0).GetField(kVec, "elements", kObjArr);
+    m.LoadLocal("I", 3).Emit(Op::kAaload).Emit(Op::kAastore);
+    m.Emit(Op::kIinc, 3, 1).Branch(Op::kGoto, copy);
+    m.Bind(copy_done);
+    m.Emit(Op::kAload, 0).LoadLocal(kObjArr, 2).PutField(kVec, "elements", kObjArr);
+    m.Bind(store);
+    m.Emit(Op::kAload, 0).GetField(kVec, "elements", kObjArr);
+    m.Emit(Op::kAload, 0).GetField(kVec, "count", "I");
+    m.Emit(Op::kAload, 1).Emit(Op::kAastore);
+    m.Emit(Op::kAload, 0).Emit(Op::kDup).GetField(kVec, "count", "I");
+    m.PushInt(1).Emit(Op::kIadd).PutField(kVec, "count", "I");
+    m.Emit(Op::kReturn);
+  }
+
+  // Object get(int i) { bounds-check; return elements[i]; }
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "get", "(I)Ljava/lang/Object;");
+    Label bad = m.NewLabel();
+    m.Emit(Op::kIload, 1).Branch(Op::kIflt, bad);
+    m.Emit(Op::kIload, 1).Emit(Op::kAload, 0).GetField(kVec, "count", "I");
+    m.Branch(Op::kIfIcmpge, bad);
+    m.Emit(Op::kAload, 0).GetField(kVec, "elements", kObjArr);
+    m.Emit(Op::kIload, 1).Emit(Op::kAaload).Emit(Op::kAreturn);
+    m.Bind(bad);
+    m.New("java/lang/ArrayIndexOutOfBoundsException").Emit(Op::kDup);
+    m.InvokeSpecial("java/lang/ArrayIndexOutOfBoundsException", "<init>", "()V");
+    m.Emit(Op::kAthrow);
+  }
+
+  // void set(int i, Object o) { bounds-check; elements[i] = o; }
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "set", "(ILjava/lang/Object;)V");
+    Label bad = m.NewLabel();
+    m.Emit(Op::kIload, 1).Branch(Op::kIflt, bad);
+    m.Emit(Op::kIload, 1).Emit(Op::kAload, 0).GetField(kVec, "count", "I");
+    m.Branch(Op::kIfIcmpge, bad);
+    m.Emit(Op::kAload, 0).GetField(kVec, "elements", kObjArr);
+    m.Emit(Op::kIload, 1).Emit(Op::kAload, 2).Emit(Op::kAastore);
+    m.Emit(Op::kReturn);
+    m.Bind(bad);
+    m.New("java/lang/ArrayIndexOutOfBoundsException").Emit(Op::kDup);
+    m.InvokeSpecial("java/lang/ArrayIndexOutOfBoundsException", "<init>", "()V");
+    m.Emit(Op::kAthrow);
+  }
+  return Must(cb.Build());
+}
+
+ClassFile BuildGuestIntMap() {
+  ClassBuilder cb(kMap, "java/lang/Object");
+  cb.AddField(kPub, "keys", "[I");
+  cb.AddField(kPub, "values", "[I");
+  cb.AddField(kPub, "flags", "[I");  // 1 = slot occupied
+  cb.AddField(kPub, "count", "I");
+  cb.AddField(kPub, "cap", "I");
+
+  // Shared helper for the constructor and grow(): allocate tables of `cap`.
+  auto emit_alloc_tables = [](MethodBuilder& m) {
+    m.Emit(Op::kAload, 0).Emit(Op::kAload, 0).GetField(kMap, "cap", "I");
+    m.Emit(Op::kNewarray, static_cast<int>(ArrayKind::kInt)).PutField(kMap, "keys", "[I");
+    m.Emit(Op::kAload, 0).Emit(Op::kAload, 0).GetField(kMap, "cap", "I");
+    m.Emit(Op::kNewarray, static_cast<int>(ArrayKind::kInt)).PutField(kMap, "values", "[I");
+    m.Emit(Op::kAload, 0).Emit(Op::kAload, 0).GetField(kMap, "cap", "I");
+    m.Emit(Op::kNewarray, static_cast<int>(ArrayKind::kInt)).PutField(kMap, "flags", "[I");
+    m.Emit(Op::kAload, 0).PushInt(0).PutField(kMap, "count", "I");
+  };
+
+  // IntMap() { cap = 16; alloc tables; }
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "<init>", "()V");
+    m.Emit(Op::kAload, 0).InvokeSpecial("java/lang/Object", "<init>", "()V");
+    m.Emit(Op::kAload, 0).PushInt(16).PutField(kMap, "cap", "I");
+    emit_alloc_tables(m);
+    m.Emit(Op::kReturn);
+  }
+
+  // int size() { return count; }
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "size", "()I");
+    m.Emit(Op::kAload, 0).GetField(kMap, "count", "I").Emit(Op::kIreturn);
+  }
+
+  // void put(int k, int v)
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "put", "(II)V");
+    Label probe = m.NewLabel(), empty = m.NewLabel(), write = m.NewLabel();
+    Label no_grow = m.NewLabel();
+    // if ((count + 1) * 4 >= cap * 3) grow();
+    m.Emit(Op::kAload, 0).GetField(kMap, "count", "I").PushInt(1).Emit(Op::kIadd);
+    m.PushInt(4).Emit(Op::kImul);
+    m.Emit(Op::kAload, 0).GetField(kMap, "cap", "I").PushInt(3).Emit(Op::kImul);
+    m.Branch(Op::kIfIcmplt, no_grow);
+    m.Emit(Op::kAload, 0).InvokeVirtual(kMap, "grow", "()V");
+    m.Bind(no_grow);
+    // idx = (k * -1640531527) & (cap - 1)
+    m.Emit(Op::kIload, 1).PushInt(-1640531527).Emit(Op::kImul);
+    m.Emit(Op::kAload, 0).GetField(kMap, "cap", "I").PushInt(1).Emit(Op::kIsub);
+    m.Emit(Op::kIand).StoreLocal("I", 3);
+    m.Bind(probe);
+    // if (!flags[idx]) -> empty slot
+    m.Emit(Op::kAload, 0).GetField(kMap, "flags", "[I").LoadLocal("I", 3);
+    m.Emit(Op::kIaload).Branch(Op::kIfeq, empty);
+    // if (keys[idx] == k) -> overwrite value
+    m.Emit(Op::kAload, 0).GetField(kMap, "keys", "[I").LoadLocal("I", 3);
+    m.Emit(Op::kIaload).Emit(Op::kIload, 1).Branch(Op::kIfIcmpeq, write);
+    // idx = (idx + 1) & (cap - 1)
+    m.LoadLocal("I", 3).PushInt(1).Emit(Op::kIadd);
+    m.Emit(Op::kAload, 0).GetField(kMap, "cap", "I").PushInt(1).Emit(Op::kIsub);
+    m.Emit(Op::kIand).StoreLocal("I", 3);
+    m.Branch(Op::kGoto, probe);
+    m.Bind(empty);
+    m.Emit(Op::kAload, 0).GetField(kMap, "flags", "[I").LoadLocal("I", 3).PushInt(1)
+        .Emit(Op::kIastore);
+    m.Emit(Op::kAload, 0).GetField(kMap, "keys", "[I").LoadLocal("I", 3)
+        .Emit(Op::kIload, 1).Emit(Op::kIastore);
+    m.Emit(Op::kAload, 0).Emit(Op::kDup).GetField(kMap, "count", "I").PushInt(1)
+        .Emit(Op::kIadd).PutField(kMap, "count", "I");
+    m.Bind(write);
+    m.Emit(Op::kAload, 0).GetField(kMap, "values", "[I").LoadLocal("I", 3)
+        .Emit(Op::kIload, 2).Emit(Op::kIastore);
+    m.Emit(Op::kReturn);
+  }
+
+  // int get(int k, int fallback)
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "get", "(II)I");
+    Label probe = m.NewLabel(), missing = m.NewLabel(), found = m.NewLabel();
+    m.Emit(Op::kIload, 1).PushInt(-1640531527).Emit(Op::kImul);
+    m.Emit(Op::kAload, 0).GetField(kMap, "cap", "I").PushInt(1).Emit(Op::kIsub);
+    m.Emit(Op::kIand).StoreLocal("I", 3);
+    m.Bind(probe);
+    m.Emit(Op::kAload, 0).GetField(kMap, "flags", "[I").LoadLocal("I", 3);
+    m.Emit(Op::kIaload).Branch(Op::kIfeq, missing);
+    m.Emit(Op::kAload, 0).GetField(kMap, "keys", "[I").LoadLocal("I", 3);
+    m.Emit(Op::kIaload).Emit(Op::kIload, 1).Branch(Op::kIfIcmpeq, found);
+    m.LoadLocal("I", 3).PushInt(1).Emit(Op::kIadd);
+    m.Emit(Op::kAload, 0).GetField(kMap, "cap", "I").PushInt(1).Emit(Op::kIsub);
+    m.Emit(Op::kIand).StoreLocal("I", 3);
+    m.Branch(Op::kGoto, probe);
+    m.Bind(found);
+    m.Emit(Op::kAload, 0).GetField(kMap, "values", "[I").LoadLocal("I", 3);
+    m.Emit(Op::kIaload).Emit(Op::kIreturn);
+    m.Bind(missing);
+    m.Emit(Op::kIload, 2).Emit(Op::kIreturn);
+  }
+
+  // void grow(): double cap, reallocate, reinsert every occupied slot.
+  {
+    MethodBuilder& m = cb.AddMethod(kPub, "grow", "()V");
+    Label rehash = m.NewLabel(), next = m.NewLabel(), done = m.NewLabel();
+    // Stash old tables in locals.
+    m.Emit(Op::kAload, 0).GetField(kMap, "keys", "[I").StoreLocal("[I", 1);
+    m.Emit(Op::kAload, 0).GetField(kMap, "values", "[I").StoreLocal("[I", 2);
+    m.Emit(Op::kAload, 0).GetField(kMap, "flags", "[I").StoreLocal("[I", 3);
+    m.Emit(Op::kAload, 0).GetField(kMap, "cap", "I").StoreLocal("I", 4);
+    // cap *= 2; fresh tables; count = 0.
+    m.Emit(Op::kAload, 0).LoadLocal("I", 4).PushInt(2).Emit(Op::kImul)
+        .PutField(kMap, "cap", "I");
+    emit_alloc_tables(m);
+    // for (i = 0; i < oldCap; i++) if (oldFlags[i]) put(oldKeys[i], oldValues[i]);
+    m.PushInt(0).StoreLocal("I", 5);
+    m.Bind(rehash);
+    m.LoadLocal("I", 5).LoadLocal("I", 4).Branch(Op::kIfIcmpge, done);
+    m.LoadLocal("[I", 3).LoadLocal("I", 5).Emit(Op::kIaload).Branch(Op::kIfeq, next);
+    m.Emit(Op::kAload, 0);
+    m.LoadLocal("[I", 1).LoadLocal("I", 5).Emit(Op::kIaload);
+    m.LoadLocal("[I", 2).LoadLocal("I", 5).Emit(Op::kIaload);
+    m.InvokeVirtual(kMap, "put", "(II)V");
+    m.Bind(next);
+    m.Emit(Op::kIinc, 5, 1).Branch(Op::kGoto, rehash);
+    m.Bind(done);
+    m.Emit(Op::kReturn);
+  }
+  return Must(cb.Build());
+}
+
+}  // namespace dvm

@@ -1,0 +1,22 @@
+// Guest-coded library classes: collections written in DVM *bytecode* (via the
+// assembler), the way most of the real JDK's core is written in Java itself.
+// They ship with the system library, execute on the interpreter, flow through
+// the services like any other code, and exercise the object/array machinery
+// far harder than native stubs would.
+//
+//   java/util/Vector  — growable reference vector (add/get/set/size)
+//   java/util/IntMap  — open-addressing int->int hash map (put/get/size),
+//                       linear probing, power-of-two capacity, 3/4 rehash
+#ifndef SRC_RUNTIME_GUESTLIB_H_
+#define SRC_RUNTIME_GUESTLIB_H_
+
+#include "src/bytecode/classfile.h"
+
+namespace dvm {
+
+ClassFile BuildGuestVector();
+ClassFile BuildGuestIntMap();
+
+}  // namespace dvm
+
+#endif  // SRC_RUNTIME_GUESTLIB_H_

@@ -1,0 +1,82 @@
+// Guest heap: handle-indexed objects with a mark-sweep collector. Handles stay
+// stable across collections (the table is a free-list, not compacted), which
+// keeps interpreter frames and native code simple.
+#ifndef SRC_RUNTIME_HEAP_H_
+#define SRC_RUNTIME_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/runtime/value.h"
+#include "src/support/result.h"
+
+namespace dvm {
+
+struct HeapObject {
+  enum class Kind : uint8_t { kFree, kInstance, kIntArray, kLongArray, kRefArray, kString };
+
+  Kind kind = Kind::kFree;
+  // Class name for instances; array descriptor ("[I", "[Lfoo/Bar;") for arrays;
+  // "java/lang/String" for strings.
+  std::string class_name;
+  std::vector<Value> fields;     // kInstance: slot-indexed instance fields
+  std::vector<int32_t> ints;     // kIntArray
+  std::vector<int64_t> longs;    // kLongArray
+  std::vector<ObjRef> refs;      // kRefArray
+  std::string str;               // kString payload
+  bool marked = false;
+
+  size_t SizeBytes() const;
+  int32_t ArrayLength() const;
+};
+
+class Heap {
+ public:
+  struct Stats {
+    uint64_t allocations = 0;
+    uint64_t allocated_bytes = 0;
+    uint64_t gc_runs = 0;
+    uint64_t objects_collected = 0;
+  };
+
+  explicit Heap(size_t capacity_bytes = 64 * 1024 * 1024) : capacity_bytes_(capacity_bytes) {}
+
+  Result<ObjRef> AllocInstance(const std::string& class_name, size_t field_count);
+  Result<ObjRef> AllocIntArray(int32_t length);
+  Result<ObjRef> AllocLongArray(int32_t length);
+  Result<ObjRef> AllocRefArray(const std::string& descriptor, int32_t length);
+  Result<ObjRef> AllocString(const std::string& value);
+
+  // Returns nullptr for the null handle or a freed slot.
+  HeapObject* Get(ObjRef ref);
+  const HeapObject* Get(ObjRef ref) const;
+
+  // Mark-sweep over the given roots. Statics and frames are supplied by the
+  // machine; this class only owns the object graph.
+  void Collect(const std::vector<ObjRef>& roots);
+
+  size_t live_bytes() const { return live_bytes_; }
+  size_t live_objects() const { return live_objects_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  const Stats& stats() const { return stats_; }
+
+  // True when an allocation of `bytes` should trigger a collection first.
+  bool NeedsGc(size_t bytes) const { return live_bytes_ + bytes > capacity_bytes_; }
+
+ private:
+  Result<ObjRef> Place(HeapObject obj);
+  void Mark(ObjRef ref);
+
+  std::vector<HeapObject> objects_{1};  // slot 0 reserved for null
+  std::vector<ObjRef> free_list_;
+  size_t capacity_bytes_;
+  size_t live_bytes_ = 0;
+  size_t live_objects_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_RUNTIME_HEAP_H_

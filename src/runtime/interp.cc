@@ -1,0 +1,1029 @@
+#include "src/runtime/interp.h"
+
+#include "src/bytecode/descriptor.h"
+#include "src/verifier/link_checker.h"
+
+namespace dvm {
+namespace {
+
+Error HostErr(const std::string& message) { return Error{ErrorCode::kRuntimeError, message}; }
+
+}  // namespace
+
+Interpreter::Interpreter(Machine& machine) : machine_(machine) {
+  previous_root_provider_ = machine_.frame_root_provider();
+  machine_.SetFrameRootProvider([this](std::vector<ObjRef>* roots) {
+    if (previous_root_provider_) {
+      previous_root_provider_(roots);
+    }
+    CollectFrameRoots(roots);
+  });
+}
+
+Interpreter::~Interpreter() { machine_.SetFrameRootProvider(previous_root_provider_); }
+
+void Interpreter::CollectFrameRoots(std::vector<ObjRef>* roots) const {
+  auto add = [roots](const Value& v) {
+    if (v.kind == Value::Kind::kRef && !v.IsNullRef()) {
+      roots->push_back(v.AsRef());
+    }
+  };
+  for (const auto& frame : frames_) {
+    for (const Value& v : frame.locals) {
+      add(v);
+    }
+    for (const Value& v : frame.stack) {
+      add(v);
+    }
+  }
+  if (has_return_value_) {
+    add(return_value_);
+  }
+}
+
+Result<PreparedMethod*> Interpreter::Prepare(RuntimeClass* cls, const MethodInfo* method) {
+  auto it = cls->prepared.find(method->Id());
+  if (it != cls->prepared.end()) {
+    return it->second.get();
+  }
+  auto prepared = std::make_unique<PreparedMethod>();
+  prepared->method = method;
+  prepared->compiled = cls->file.FindAttribute(kAttrCompiledStamp) != nullptr;
+  DVM_ASSIGN_OR_RETURN(prepared->code, DecodeCode(method->code->code));
+  prepared->cache.resize(prepared->code.size());
+
+  std::vector<uint32_t> offsets = CodeByteOffsets(prepared->code);
+  auto index_of = [&offsets](uint16_t byte_pc) -> int64_t {
+    for (size_t i = 0; i < offsets.size(); i++) {
+      if (offsets[i] == byte_pc) {
+        return static_cast<int64_t>(i);
+      }
+    }
+    return -1;
+  };
+  for (const auto& h : method->code->handlers) {
+    int64_t start = index_of(h.start_pc);
+    int64_t end = index_of(h.end_pc);
+    int64_t handler = index_of(h.handler_pc);
+    if (start < 0 || end < 0 || handler < 0) {
+      return HostErr("exception handler not on instruction boundary in " + method->Id());
+    }
+    PreparedMethod::Handler entry;
+    entry.start_ix = static_cast<uint32_t>(start);
+    entry.end_ix = static_cast<uint32_t>(end);
+    entry.handler_ix = static_cast<uint32_t>(handler);
+    if (h.catch_type != 0) {
+      DVM_ASSIGN_OR_RETURN(entry.catch_class, cls->file.pool().ClassNameAt(h.catch_type));
+    }
+    prepared->handlers.push_back(std::move(entry));
+  }
+  PreparedMethod* out = prepared.get();
+  cls->prepared[method->Id()] = std::move(prepared);
+  return out;
+}
+
+Status Interpreter::PushFrame(RuntimeClass* cls, const MethodInfo* method,
+                              std::vector<Value> args) {
+  if (frames_.size() >= machine_.config().max_frames) {
+    machine_.ThrowGuest("java/lang/StackOverflowError", "frame limit reached");
+    return Status::Ok();
+  }
+  DVM_ASSIGN_OR_RETURN(PreparedMethod * prepared, Prepare(cls, method));
+  ExecFrame frame;
+  frame.cls = cls;
+  frame.method = method;
+  frame.prepared = prepared;
+  frame.locals.assign(method->code->max_locals, Value::Null());
+  for (size_t i = 0; i < args.size() && i < frame.locals.size(); i++) {
+    frame.locals[i] = args[i];
+  }
+  frame.stack.reserve(method->code->max_stack);
+  frames_.push_back(std::move(frame));
+  machine_.call_stack().push_back(FrameInfo{cls, method});
+  machine_.counters().method_invocations++;
+  machine_.AddNanos(machine_.config().cost.nanos_per_invoke);
+  return Status::Ok();
+}
+
+Status Interpreter::EnsureInitialized(RuntimeClass* cls) {
+  if (cls->init_state != InitState::kUninitialized) {
+    return Status::Ok();
+  }
+  cls->init_state = InitState::kInitializing;
+  if (cls->super != nullptr) {
+    DVM_RETURN_IF_ERROR(EnsureInitialized(cls->super));
+    if (machine_.HasPendingException()) {
+      cls->init_state = InitState::kUninitialized;
+      return Status::Ok();
+    }
+  }
+
+  // Monolithic clients discharge the verifier's link assumptions here, at
+  // first active use — the same laziness the DVM gets via injected preambles.
+  if (auto* pending = machine_.PendingLinkChecks(cls->name)) {
+    LinkCheckStats stats;
+    Status status = Status::Ok();
+    for (const auto& assumption : *pending) {
+      // Force-load the classes each assumption talks about, then check.
+      (void)machine_.registry().GetClass(assumption.target_class);
+      status = CheckAssumption(assumption, machine_.registry(), &stats);
+      if (!status.ok()) {
+        break;
+      }
+    }
+    uint64_t cost = stats.dynamic_checks * machine_.config().cost.nanos_per_link_check;
+    machine_.AddNanos(cost);
+    machine_.AddServiceNanos("verify", cost);
+    machine_.counters().dynamic_verify_checks += stats.dynamic_checks;
+    machine_.ClearPendingLinkChecks(cls->name);
+    if (!status.ok()) {
+      cls->init_state = InitState::kInitialized;  // poisoned; never re-checked
+      machine_.ThrowGuest("java/lang/VerifyError", status.error().message);
+      return Status::Ok();
+    }
+  }
+
+  const MethodInfo* clinit = cls->file.FindMethod("<clinit>", "()V");
+  if (clinit != nullptr && clinit->code.has_value()) {
+    Interpreter nested(machine_);
+    DVM_ASSIGN_OR_RETURN(CallOutcome outcome, nested.RunMethod(cls, clinit, {}));
+    if (outcome.threw) {
+      cls->init_state = InitState::kInitialized;
+      machine_.ThrowGuest("java/lang/ExceptionInInitializerError",
+                          outcome.exception_class + ": " + outcome.exception_message);
+      return Status::Ok();
+    }
+  }
+  cls->init_state = InitState::kInitialized;
+  return Status::Ok();
+}
+
+Result<CallOutcome> Interpreter::RunStatic(const std::string& class_name,
+                                           const std::string& method_name,
+                                           const std::string& descriptor,
+                                           std::vector<Value> args) {
+  DVM_ASSIGN_OR_RETURN(RuntimeClass * cls, machine_.registry().GetClass(class_name));
+  const RuntimeClass* owner = cls->FindMethodOwner(method_name, descriptor);
+  if (owner == nullptr) {
+    return HostErr("no such method: " + class_name + "." + method_name + ":" + descriptor);
+  }
+  const MethodInfo* method = owner->file.FindMethod(method_name, descriptor);
+  if (!method->IsStatic()) {
+    return HostErr("method is not static: " + method_name);
+  }
+  return RunMethod(machine_.registry().FindLoaded(owner->name), method, std::move(args));
+}
+
+Result<CallOutcome> Interpreter::RunMethod(RuntimeClass* cls, const MethodInfo* method,
+                                           std::vector<Value> args) {
+  DVM_RETURN_IF_ERROR(EnsureInitialized(cls));
+  if (!machine_.HasPendingException()) {
+    if (method->IsNative()) {
+      DVM_RETURN_IF_ERROR(CallNative(cls, method, std::move(args)));
+      if (!machine_.HasPendingException()) {
+        CallOutcome outcome;
+        if (has_return_value_) {
+          outcome.value = return_value_;
+        }
+        return outcome;
+      }
+    } else {
+      DVM_RETURN_IF_ERROR(PushFrame(cls, method, std::move(args)));
+    }
+  }
+  return Loop();
+}
+
+Result<CallOutcome> Interpreter::Loop() {
+  while (true) {
+    if (machine_.HasPendingException()) {
+      DVM_ASSIGN_OR_RETURN(bool handled, DispatchPendingException());
+      if (!handled) {
+        ObjRef exception = machine_.TakePendingException();
+        CallOutcome outcome;
+        outcome.threw = true;
+        outcome.value = Value::Ref(exception);
+        const HeapObject* obj = machine_.heap().Get(exception);
+        if (obj != nullptr) {
+          if (obj->kind == HeapObject::Kind::kString) {
+            outcome.exception_class = "java/lang/Throwable";
+            outcome.exception_message = obj->str;
+          } else {
+            outcome.exception_class = obj->class_name;
+            RuntimeClass* cls = machine_.registry().FindLoaded(obj->class_name);
+            const RuntimeClass* owner =
+                cls != nullptr ? cls->FindFieldOwner("message") : nullptr;
+            if (owner != nullptr) {
+              auto slot = owner->own_field_slots.find("message");
+              if (slot != owner->own_field_slots.end() &&
+                  slot->second < obj->fields.size()) {
+                Value message = obj->fields[slot->second];
+                if (message.kind == Value::Kind::kRef && !message.IsNullRef()) {
+                  auto str = machine_.StringValue(message.AsRef());
+                  if (str.ok()) {
+                    outcome.exception_message = str.value();
+                  }
+                }
+              }
+            }
+          }
+        }
+        return outcome;
+      }
+      continue;
+    }
+    if (frames_.empty()) {
+      CallOutcome outcome;
+      if (has_return_value_) {
+        outcome.value = return_value_;
+      }
+      return outcome;
+    }
+    if (machine_.counters().instructions >= machine_.config().max_instructions) {
+      return HostErr("instruction budget exceeded");
+    }
+    DVM_RETURN_IF_ERROR(Step());
+  }
+}
+
+Result<bool> Interpreter::DispatchPendingException() {
+  ObjRef exception = machine_.TakePendingException();
+  std::string exception_class = "java/lang/Throwable";
+  const HeapObject* obj = machine_.heap().Get(exception);
+  if (obj != nullptr && obj->kind == HeapObject::Kind::kInstance) {
+    exception_class = obj->class_name;
+  }
+
+  while (!frames_.empty()) {
+    ExecFrame& frame = frames_.back();
+    size_t fault_ix = frame.pc == 0 ? 0 : frame.pc - 1;
+    for (const auto& h : frame.prepared->handlers) {
+      if (fault_ix < h.start_ix || fault_ix >= h.end_ix) {
+        continue;
+      }
+      bool matches = h.catch_class.empty();
+      if (!matches) {
+        auto is_sub = machine_.registry().IsSubclass(exception_class, h.catch_class);
+        matches = is_sub.ok() && is_sub.value();
+      }
+      if (matches) {
+        frame.stack.clear();
+        frame.stack.push_back(Value::Ref(exception));
+        frame.pc = h.handler_ix;
+        return true;
+      }
+    }
+    frames_.pop_back();
+    machine_.call_stack().pop_back();
+  }
+  // No handler anywhere: re-arm so Loop can report it.
+  machine_.SetPendingExceptionObject(exception);
+  return false;
+}
+
+Status Interpreter::CallNative(RuntimeClass* owner, const MethodInfo* method,
+                               std::vector<Value> args) {
+  const NativeFn* fn =
+      machine_.natives().Find(owner->name, method->name, method->descriptor);
+  if (fn == nullptr && method->name.rfind("__dvmSecured$", 0) == 0) {
+    // The security service wraps hooked natives by renaming them; the
+    // implementation stays bound under the original name.
+    fn = machine_.natives().Find(owner->name, method->name.substr(13), method->descriptor);
+  }
+  if (fn == nullptr) {
+    return HostErr("unbound native method " + owner->name + "." + method->Id());
+  }
+  machine_.counters().native_calls++;
+  machine_.AddNanos(machine_.config().cost.nanos_per_native_call);
+  DVM_ASSIGN_OR_RETURN(Value result, (*fn)(machine_, args));
+  if (machine_.HasPendingException()) {
+    return Status::Ok();
+  }
+  auto sig = ParseMethodDescriptor(method->descriptor);
+  if (sig.ok() && !sig->ReturnsVoid()) {
+    if (!frames_.empty()) {
+      frames_.back().stack.push_back(result);
+    } else {
+      return_value_ = result;
+      has_return_value_ = true;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Interpreter::Invoke(Op op, uint16_t cp_index, InlineCache& ic) {
+  ExecFrame& caller = frames_.back();
+  const ConstantPool& pool = caller.cls->file.pool();
+
+  // Quicken the call shape (argument slots, result arity) on first execution.
+  if (ic.arg_count < 0) {
+    DVM_ASSIGN_OR_RETURN(MemberRef ref, pool.MethodRefAt(cp_index));
+    DVM_ASSIGN_OR_RETURN(MethodSignature sig, ParseMethodDescriptor(ref.descriptor));
+    ic.arg_count = sig.ArgSlots() + (op == Op::kInvokestatic ? 0 : 1);
+    ic.has_result = !sig.ReturnsVoid();
+  }
+  size_t arg_count = static_cast<size_t>(ic.arg_count);
+  if (caller.stack.size() < arg_count) {
+    return HostErr("operand stack underflow on invoke in " + caller.method->Id());
+  }
+  std::vector<Value> args(caller.stack.end() - static_cast<long>(arg_count),
+                          caller.stack.end());
+  caller.stack.resize(caller.stack.size() - arg_count);
+
+  if (op != Op::kInvokestatic && args[0].IsNullRef()) {
+    machine_.ThrowGuest("java/lang/NullPointerException", "invoke on null receiver");
+    return Status::Ok();
+  }
+
+  RuntimeClass* owner = nullptr;
+  const MethodInfo* method = nullptr;
+
+  if (op == Op::kInvokevirtual) {
+    const HeapObject* receiver = machine_.heap().Get(args[0].AsRef());
+    if (receiver == nullptr) {
+      return HostErr("dangling receiver reference");
+    }
+    if (ic.invoke_method != nullptr && ic.receiver_class == receiver->class_name) {
+      // Monomorphic fast path.
+      owner = ic.invoke_owner;
+      method = ic.invoke_method;
+    } else {
+      DVM_ASSIGN_OR_RETURN(MemberRef ref, pool.MethodRefAt(cp_index));
+      std::string dynamic_class = receiver->class_name;
+      if (!dynamic_class.empty() && dynamic_class[0] == '[') {
+        dynamic_class = "java/lang/Object";
+      }
+      DVM_ASSIGN_OR_RETURN(RuntimeClass * dispatch_cls,
+                           machine_.registry().GetClass(dynamic_class));
+      const RuntimeClass* found =
+          dispatch_cls->FindMethodOwner(ref.member_name, ref.descriptor);
+      if (found == nullptr) {
+        // Fall back to the static type (e.g. interface-typed receivers).
+        DVM_ASSIGN_OR_RETURN(RuntimeClass * ref_cls,
+                             machine_.registry().GetClass(ref.class_name));
+        found = ref_cls->FindMethodOwner(ref.member_name, ref.descriptor);
+      }
+      if (found == nullptr) {
+        machine_.ThrowGuest("java/lang/NoSuchMethodError", ref.ToString());
+        return Status::Ok();
+      }
+      owner = machine_.registry().FindLoaded(found->name);
+      method = owner->file.FindMethod(ref.member_name, ref.descriptor);
+      if (method->IsStatic()) {
+        machine_.ThrowGuest("java/lang/IncompatibleClassChangeError",
+                            ref.ToString() + " is static");
+        return Status::Ok();
+      }
+      // Install the monomorphic cache entry (last receiver type wins).
+      ic.invoke_owner = owner;
+      ic.invoke_method = method;
+      ic.receiver_class = receiver->class_name;
+    }
+  } else if (ic.invoke_method != nullptr) {
+    // invokestatic / invokespecial resolve statically: cache is always valid
+    // (and for statics implies the owner finished initialization).
+    owner = ic.invoke_owner;
+    method = ic.invoke_method;
+  } else {
+    DVM_ASSIGN_OR_RETURN(MemberRef ref, pool.MethodRefAt(cp_index));
+    DVM_ASSIGN_OR_RETURN(RuntimeClass * ref_cls,
+                         machine_.registry().GetClass(ref.class_name));
+    const RuntimeClass* found = ref_cls->FindMethodOwner(ref.member_name, ref.descriptor);
+    if (found == nullptr) {
+      machine_.ThrowGuest("java/lang/NoSuchMethodError", ref.ToString());
+      return Status::Ok();
+    }
+    owner = machine_.registry().FindLoaded(found->name);
+    method = owner->file.FindMethod(ref.member_name, ref.descriptor);
+    if (op == Op::kInvokestatic) {
+      if (!method->IsStatic()) {
+        machine_.ThrowGuest("java/lang/IncompatibleClassChangeError",
+                            ref.ToString() + " is not static");
+        return Status::Ok();
+      }
+      DVM_RETURN_IF_ERROR(EnsureInitialized(owner));
+      if (machine_.HasPendingException()) {
+        return Status::Ok();
+      }
+    } else if (method->IsStatic()) {
+      machine_.ThrowGuest("java/lang/IncompatibleClassChangeError",
+                          ref.ToString() + " is static");
+      return Status::Ok();
+    }
+    ic.invoke_owner = owner;
+    ic.invoke_method = method;
+  }
+
+  if (method->IsAbstract()) {
+    machine_.ThrowGuest("java/lang/AbstractMethodError", owner->name + "." + method->Id());
+    return Status::Ok();
+  }
+  if (method->IsNative()) {
+    return CallNative(owner, method, std::move(args));
+  }
+  return PushFrame(owner, method, std::move(args));
+}
+
+Status Interpreter::Step() {
+  ExecFrame& f = frames_.back();
+  if (f.pc >= f.prepared->code.size()) {
+    return HostErr("pc escaped method body in " + f.method->Id());
+  }
+  const Instr instr = f.prepared->code[f.pc];
+  f.pc++;
+  machine_.counters().instructions++;
+  machine_.AddNanos(f.prepared->compiled ? machine_.config().cost.nanos_per_instr_compiled
+                                         : machine_.config().cost.nanos_per_instr);
+
+  const ConstantPool& pool = f.cls->file.pool();
+  auto& stack = f.stack;
+
+  auto pop = [&stack]() {
+    Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  auto underflow_guard = [&](size_t need) -> Status {
+    if (stack.size() < need) {
+      return HostErr("operand stack underflow in " + f.method->Id());
+    }
+    return Status::Ok();
+  };
+
+  switch (instr.op) {
+    case Op::kNop:
+      break;
+    case Op::kAconstNull:
+      stack.push_back(Value::Null());
+      break;
+    case Op::kIconst0:
+      stack.push_back(Value::Int(0));
+      break;
+    case Op::kIconst1:
+      stack.push_back(Value::Int(1));
+      break;
+    case Op::kBipush:
+    case Op::kSipush:
+      stack.push_back(Value::Int(instr.a));
+      break;
+    case Op::kLdc: {
+      uint16_t index = static_cast<uint16_t>(instr.a);
+      if (pool.HasTag(index, CpTag::kInteger)) {
+        stack.push_back(Value::Int(pool.IntegerAt(index).value()));
+      } else if (pool.HasTag(index, CpTag::kLong)) {
+        stack.push_back(Value::Long(pool.LongAt(index).value()));
+      } else if (pool.HasTag(index, CpTag::kString)) {
+        DVM_ASSIGN_OR_RETURN(ObjRef str,
+                             machine_.InternString(pool.StringAt(index).value()));
+        stack.push_back(Value::Ref(str));
+      } else {
+        return HostErr("ldc on unsupported constant");
+      }
+      break;
+    }
+    case Op::kIload:
+    case Op::kLload:
+    case Op::kAload:
+      stack.push_back(f.locals[static_cast<size_t>(instr.a)]);
+      break;
+    case Op::kIstore:
+    case Op::kLstore:
+    case Op::kAstore: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      f.locals[static_cast<size_t>(instr.a)] = pop();
+      break;
+    }
+    case Op::kIaload:
+    case Op::kLaload:
+    case Op::kAaload: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      int32_t index = pop().AsInt();
+      Value array_ref = pop();
+      if (array_ref.IsNullRef()) {
+        machine_.ThrowGuest("java/lang/NullPointerException", "array load on null");
+        break;
+      }
+      HeapObject* array = machine_.heap().Get(array_ref.AsRef());
+      if (array == nullptr) {
+        return HostErr("dangling array reference");
+      }
+      if (index < 0 || index >= array->ArrayLength()) {
+        machine_.ThrowGuest("java/lang/ArrayIndexOutOfBoundsException",
+                            std::to_string(index));
+        break;
+      }
+      if (instr.op == Op::kIaload) {
+        stack.push_back(Value::Int(array->ints[static_cast<size_t>(index)]));
+      } else if (instr.op == Op::kLaload) {
+        stack.push_back(Value::Long(array->longs[static_cast<size_t>(index)]));
+      } else {
+        stack.push_back(Value::Ref(array->refs[static_cast<size_t>(index)]));
+      }
+      break;
+    }
+    case Op::kIastore:
+    case Op::kLastore:
+    case Op::kAastore: {
+      DVM_RETURN_IF_ERROR(underflow_guard(3));
+      Value value = pop();
+      int32_t index = pop().AsInt();
+      Value array_ref = pop();
+      if (array_ref.IsNullRef()) {
+        machine_.ThrowGuest("java/lang/NullPointerException", "array store on null");
+        break;
+      }
+      HeapObject* array = machine_.heap().Get(array_ref.AsRef());
+      if (array == nullptr) {
+        return HostErr("dangling array reference");
+      }
+      if (index < 0 || index >= array->ArrayLength()) {
+        machine_.ThrowGuest("java/lang/ArrayIndexOutOfBoundsException",
+                            std::to_string(index));
+        break;
+      }
+      if (instr.op == Op::kIastore) {
+        array->ints[static_cast<size_t>(index)] = value.AsInt();
+      } else if (instr.op == Op::kLastore) {
+        array->longs[static_cast<size_t>(index)] = value.AsLong();
+      } else {
+        array->refs[static_cast<size_t>(index)] = value.AsRef();
+      }
+      break;
+    }
+    case Op::kPop:
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      pop();
+      break;
+    case Op::kDup: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      stack.push_back(stack.back());
+      break;
+    }
+    case Op::kDupX1: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      Value v1 = pop();
+      Value v2 = pop();
+      stack.push_back(v1);
+      stack.push_back(v2);
+      stack.push_back(v1);
+      break;
+    }
+    case Op::kSwap: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      Value v1 = pop();
+      Value v2 = pop();
+      stack.push_back(v1);
+      stack.push_back(v2);
+      break;
+    }
+    case Op::kIadd:
+    case Op::kIsub:
+    case Op::kImul:
+    case Op::kIand:
+    case Op::kIor:
+    case Op::kIxor:
+    case Op::kIshl:
+    case Op::kIshr:
+    case Op::kIushr: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      int32_t b = pop().AsInt();
+      int32_t a = pop().AsInt();
+      int32_t r = 0;
+      switch (instr.op) {
+        case Op::kIadd:
+          r = static_cast<int32_t>(static_cast<uint32_t>(a) + static_cast<uint32_t>(b));
+          break;
+        case Op::kIsub:
+          r = static_cast<int32_t>(static_cast<uint32_t>(a) - static_cast<uint32_t>(b));
+          break;
+        case Op::kImul:
+          r = static_cast<int32_t>(static_cast<uint32_t>(a) * static_cast<uint32_t>(b));
+          break;
+        case Op::kIand:
+          r = a & b;
+          break;
+        case Op::kIor:
+          r = a | b;
+          break;
+        case Op::kIxor:
+          r = a ^ b;
+          break;
+        case Op::kIshl:
+          r = static_cast<int32_t>(static_cast<uint32_t>(a) << (b & 31));
+          break;
+        case Op::kIshr:
+          r = a >> (b & 31);
+          break;
+        case Op::kIushr:
+          r = static_cast<int32_t>(static_cast<uint32_t>(a) >> (b & 31));
+          break;
+        default:
+          break;
+      }
+      stack.push_back(Value::Int(r));
+      break;
+    }
+    case Op::kIdiv:
+    case Op::kIrem: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      int32_t b = pop().AsInt();
+      int32_t a = pop().AsInt();
+      if (b == 0) {
+        machine_.ThrowGuest("java/lang/ArithmeticException", "/ by zero");
+        break;
+      }
+      int64_t wide = instr.op == Op::kIdiv ? static_cast<int64_t>(a) / b
+                                           : static_cast<int64_t>(a) % b;
+      stack.push_back(Value::Int(static_cast<int32_t>(wide)));
+      break;
+    }
+    case Op::kLadd:
+    case Op::kLsub:
+    case Op::kLmul: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      uint64_t b = static_cast<uint64_t>(pop().AsLong());
+      uint64_t a = static_cast<uint64_t>(pop().AsLong());
+      uint64_t r = instr.op == Op::kLadd ? a + b : instr.op == Op::kLsub ? a - b : a * b;
+      stack.push_back(Value::Long(static_cast<int64_t>(r)));
+      break;
+    }
+    case Op::kLdiv:
+    case Op::kLrem: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      int64_t b = pop().AsLong();
+      int64_t a = pop().AsLong();
+      if (b == 0) {
+        machine_.ThrowGuest("java/lang/ArithmeticException", "/ by zero");
+        break;
+      }
+      stack.push_back(Value::Long(instr.op == Op::kLdiv ? a / b : a % b));
+      break;
+    }
+    case Op::kIneg: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      int32_t a = pop().AsInt();
+      stack.push_back(Value::Int(static_cast<int32_t>(-static_cast<uint32_t>(a))));
+      break;
+    }
+    case Op::kLneg: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      int64_t a = pop().AsLong();
+      stack.push_back(Value::Long(static_cast<int64_t>(-static_cast<uint64_t>(a))));
+      break;
+    }
+    case Op::kIinc: {
+      Value& local = f.locals[static_cast<size_t>(instr.a)];
+      local = Value::Int(local.AsInt() + instr.b);
+      break;
+    }
+    case Op::kI2l: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      stack.push_back(Value::Long(pop().AsInt()));
+      break;
+    }
+    case Op::kL2i: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      stack.push_back(Value::Int(static_cast<int32_t>(pop().AsLong())));
+      break;
+    }
+    case Op::kLcmp: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      int64_t b = pop().AsLong();
+      int64_t a = pop().AsLong();
+      stack.push_back(Value::Int(a < b ? -1 : a > b ? 1 : 0));
+      break;
+    }
+    case Op::kIfeq:
+    case Op::kIfne:
+    case Op::kIflt:
+    case Op::kIfge:
+    case Op::kIfgt:
+    case Op::kIfle: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      int32_t v = pop().AsInt();
+      bool taken = false;
+      switch (instr.op) {
+        case Op::kIfeq:
+          taken = v == 0;
+          break;
+        case Op::kIfne:
+          taken = v != 0;
+          break;
+        case Op::kIflt:
+          taken = v < 0;
+          break;
+        case Op::kIfge:
+          taken = v >= 0;
+          break;
+        case Op::kIfgt:
+          taken = v > 0;
+          break;
+        case Op::kIfle:
+          taken = v <= 0;
+          break;
+        default:
+          break;
+      }
+      if (taken) {
+        f.pc = static_cast<size_t>(instr.a);
+      }
+      break;
+    }
+    case Op::kIfIcmpeq:
+    case Op::kIfIcmpne:
+    case Op::kIfIcmplt:
+    case Op::kIfIcmpge:
+    case Op::kIfIcmpgt:
+    case Op::kIfIcmple: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      int32_t b = pop().AsInt();
+      int32_t a = pop().AsInt();
+      bool taken = false;
+      switch (instr.op) {
+        case Op::kIfIcmpeq:
+          taken = a == b;
+          break;
+        case Op::kIfIcmpne:
+          taken = a != b;
+          break;
+        case Op::kIfIcmplt:
+          taken = a < b;
+          break;
+        case Op::kIfIcmpge:
+          taken = a >= b;
+          break;
+        case Op::kIfIcmpgt:
+          taken = a > b;
+          break;
+        case Op::kIfIcmple:
+          taken = a <= b;
+          break;
+        default:
+          break;
+      }
+      if (taken) {
+        f.pc = static_cast<size_t>(instr.a);
+      }
+      break;
+    }
+    case Op::kIfAcmpeq:
+    case Op::kIfAcmpne: {
+      DVM_RETURN_IF_ERROR(underflow_guard(2));
+      ObjRef b = pop().AsRef();
+      ObjRef a = pop().AsRef();
+      bool taken = instr.op == Op::kIfAcmpeq ? a == b : a != b;
+      if (taken) {
+        f.pc = static_cast<size_t>(instr.a);
+      }
+      break;
+    }
+    case Op::kIfnull:
+    case Op::kIfnonnull: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      bool is_null = pop().IsNullRef();
+      if ((instr.op == Op::kIfnull) == is_null) {
+        f.pc = static_cast<size_t>(instr.a);
+      }
+      break;
+    }
+    case Op::kGoto:
+      f.pc = static_cast<size_t>(instr.a);
+      break;
+    case Op::kIreturn:
+    case Op::kLreturn:
+    case Op::kAreturn:
+    case Op::kReturn: {
+      Value result = Value::Null();
+      bool has_result = instr.op != Op::kReturn;
+      if (has_result) {
+        DVM_RETURN_IF_ERROR(underflow_guard(1));
+        result = pop();
+      }
+      frames_.pop_back();
+      machine_.call_stack().pop_back();
+      if (frames_.empty()) {
+        return_value_ = result;
+        has_return_value_ = has_result;
+      } else if (has_result) {
+        frames_.back().stack.push_back(result);
+      }
+      break;
+    }
+    case Op::kGetstatic:
+    case Op::kPutstatic: {
+      InlineCache& ic = f.prepared->cache[f.pc - 1];
+      if (ic.field_owner == nullptr) {
+        // Slow path: resolve through the constant pool, then quicken.
+        DVM_ASSIGN_OR_RETURN(MemberRef ref,
+                             pool.FieldRefAt(static_cast<uint16_t>(instr.a)));
+        DVM_ASSIGN_OR_RETURN(RuntimeClass * ref_cls,
+                             machine_.registry().GetClass(ref.class_name));
+        RuntimeClass* owner = nullptr;
+        for (RuntimeClass* c = ref_cls; c != nullptr; c = c->super) {
+          if (c->static_slots.count(ref.member_name) > 0) {
+            owner = c;
+            break;
+          }
+        }
+        if (owner == nullptr) {
+          machine_.ThrowGuest("java/lang/NoSuchFieldError", ref.ToString());
+          break;
+        }
+        DVM_RETURN_IF_ERROR(EnsureInitialized(owner));
+        if (machine_.HasPendingException()) {
+          break;
+        }
+        ic.field_slot = owner->static_slots[ref.member_name];
+        ic.field_owner = owner;  // set last: presence implies initialized
+      }
+      if (instr.op == Op::kGetstatic) {
+        stack.push_back(ic.field_owner->statics[ic.field_slot]);
+      } else {
+        DVM_RETURN_IF_ERROR(underflow_guard(1));
+        ic.field_owner->statics[ic.field_slot] = pop();
+      }
+      break;
+    }
+    case Op::kGetfield:
+    case Op::kPutfield: {
+      InlineCache& ic = f.prepared->cache[f.pc - 1];
+      Value value = Value::Null();
+      if (instr.op == Op::kPutfield) {
+        DVM_RETURN_IF_ERROR(underflow_guard(2));
+        value = pop();
+      } else {
+        DVM_RETURN_IF_ERROR(underflow_guard(1));
+      }
+      Value obj_ref = pop();
+      if (obj_ref.IsNullRef()) {
+        machine_.ThrowGuest("java/lang/NullPointerException", "field access on null");
+        break;
+      }
+      HeapObject* obj = machine_.heap().Get(obj_ref.AsRef());
+      if (obj == nullptr || obj->kind != HeapObject::Kind::kInstance) {
+        return HostErr("field access on non-instance");
+      }
+      if (ic.field_owner == nullptr) {
+        DVM_ASSIGN_OR_RETURN(MemberRef ref,
+                             pool.FieldRefAt(static_cast<uint16_t>(instr.a)));
+        DVM_ASSIGN_OR_RETURN(RuntimeClass * ref_cls,
+                             machine_.registry().GetClass(ref.class_name));
+        RuntimeClass* owner = nullptr;
+        for (RuntimeClass* c = ref_cls; c != nullptr; c = c->super) {
+          if (c->own_field_slots.count(ref.member_name) > 0) {
+            owner = c;
+            break;
+          }
+        }
+        if (owner == nullptr) {
+          machine_.ThrowGuest("java/lang/NoSuchFieldError", ref.ToString());
+          break;
+        }
+        ic.field_slot = owner->own_field_slots.at(ref.member_name);
+        ic.field_owner = owner;
+      }
+      if (ic.field_slot >= obj->fields.size()) {
+        return HostErr("field slot out of range in " + f.method->Id());
+      }
+      if (instr.op == Op::kGetfield) {
+        stack.push_back(obj->fields[ic.field_slot]);
+      } else {
+        obj->fields[ic.field_slot] = value;
+      }
+      break;
+    }
+    case Op::kInvokestatic:
+    case Op::kInvokevirtual:
+    case Op::kInvokespecial: {
+      InlineCache& ic = f.prepared->cache[f.pc - 1];
+      DVM_RETURN_IF_ERROR(Invoke(instr.op, static_cast<uint16_t>(instr.a), ic));
+      break;
+    }
+    case Op::kNew: {
+      DVM_ASSIGN_OR_RETURN(std::string class_name,
+                           pool.ClassNameAt(static_cast<uint16_t>(instr.a)));
+      DVM_ASSIGN_OR_RETURN(RuntimeClass * cls, machine_.registry().GetClass(class_name));
+      DVM_RETURN_IF_ERROR(EnsureInitialized(cls));
+      if (machine_.HasPendingException()) {
+        break;
+      }
+      auto obj = machine_.AllocInstance(cls);
+      if (!obj.ok()) {
+        machine_.ThrowGuest("java/lang/OutOfMemoryError", obj.error().message);
+        break;
+      }
+      stack.push_back(Value::Ref(obj.value()));
+      break;
+    }
+    case Op::kNewarray: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      int32_t length = pop().AsInt();
+      if (length < 0) {
+        machine_.ThrowGuest("java/lang/NegativeArraySizeException", std::to_string(length));
+        break;
+      }
+      auto arr = machine_.AllocArray(
+          instr.a == static_cast<int>(ArrayKind::kLong) ? "[J" : "[I", length);
+      if (!arr.ok()) {
+        machine_.ThrowGuest("java/lang/OutOfMemoryError", arr.error().message);
+        break;
+      }
+      stack.push_back(Value::Ref(arr.value()));
+      break;
+    }
+    case Op::kAnewarray: {
+      DVM_ASSIGN_OR_RETURN(std::string element,
+                           pool.ClassNameAt(static_cast<uint16_t>(instr.a)));
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      int32_t length = pop().AsInt();
+      if (length < 0) {
+        machine_.ThrowGuest("java/lang/NegativeArraySizeException", std::to_string(length));
+        break;
+      }
+      auto arr = machine_.AllocArray("[" + DescriptorFromClassName(element), length);
+      if (!arr.ok()) {
+        machine_.ThrowGuest("java/lang/OutOfMemoryError", arr.error().message);
+        break;
+      }
+      stack.push_back(Value::Ref(arr.value()));
+      break;
+    }
+    case Op::kArraylength: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      Value arr_ref = pop();
+      if (arr_ref.IsNullRef()) {
+        machine_.ThrowGuest("java/lang/NullPointerException", "arraylength on null");
+        break;
+      }
+      const HeapObject* arr = machine_.heap().Get(arr_ref.AsRef());
+      if (arr == nullptr || arr->ArrayLength() < 0) {
+        return HostErr("arraylength on non-array");
+      }
+      stack.push_back(Value::Int(arr->ArrayLength()));
+      break;
+    }
+    case Op::kAthrow: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      Value exception = pop();
+      if (exception.IsNullRef()) {
+        machine_.ThrowGuest("java/lang/NullPointerException", "athrow on null");
+        break;
+      }
+      machine_.counters().exceptions_thrown++;
+      machine_.SetPendingExceptionObject(exception.AsRef());
+      break;
+    }
+    case Op::kCheckcast: {
+      DVM_ASSIGN_OR_RETURN(std::string target,
+                           pool.ClassNameAt(static_cast<uint16_t>(instr.a)));
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      Value v = stack.back();
+      if (!v.IsNullRef()) {
+        const HeapObject* obj = machine_.heap().Get(v.AsRef());
+        if (obj == nullptr) {
+          return HostErr("checkcast on dangling reference");
+        }
+        auto is_sub = machine_.registry().IsSubclass(obj->class_name, target);
+        if (!is_sub.ok() || !is_sub.value()) {
+          pop();
+          machine_.ThrowGuest("java/lang/ClassCastException",
+                              obj->class_name + " -> " + target);
+        }
+      }
+      break;
+    }
+    case Op::kInstanceof: {
+      DVM_ASSIGN_OR_RETURN(std::string target,
+                           pool.ClassNameAt(static_cast<uint16_t>(instr.a)));
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      Value v = pop();
+      if (v.IsNullRef()) {
+        stack.push_back(Value::Int(0));
+        break;
+      }
+      const HeapObject* obj = machine_.heap().Get(v.AsRef());
+      if (obj == nullptr) {
+        return HostErr("instanceof on dangling reference");
+      }
+      auto is_sub = machine_.registry().IsSubclass(obj->class_name, target);
+      stack.push_back(Value::Int(is_sub.ok() && is_sub.value() ? 1 : 0));
+      break;
+    }
+    case Op::kMonitorenter:
+    case Op::kMonitorexit: {
+      DVM_RETURN_IF_ERROR(underflow_guard(1));
+      Value v = pop();
+      if (v.IsNullRef()) {
+        machine_.ThrowGuest("java/lang/NullPointerException", "monitor on null");
+        break;
+      }
+      // Single simulated thread: always uncontended, but acquisition itself
+      // is far from free (the point of the sync-elision optimizer).
+      machine_.AddNanos(machine_.config().cost.nanos_per_monitor_op);
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dvm

@@ -1,0 +1,73 @@
+// The bytecode interpreter: an explicit-frame stack machine over prepared
+// (decoded) method bodies. Guest exceptions unwind through the exception
+// tables; class initialization (<clinit>) and monolithic first-use link checks
+// run at first active use of a class.
+#ifndef SRC_RUNTIME_INTERP_H_
+#define SRC_RUNTIME_INTERP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/machine.h"
+
+namespace dvm {
+
+class Interpreter {
+ public:
+  explicit Interpreter(Machine& machine);
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  // Resolves and runs a static method to completion.
+  Result<CallOutcome> RunStatic(const std::string& class_name, const std::string& method_name,
+                                const std::string& descriptor, std::vector<Value> args);
+
+  // Runs an already-resolved method (used for <clinit> and service callbacks).
+  Result<CallOutcome> RunMethod(RuntimeClass* cls, const MethodInfo* method,
+                                std::vector<Value> args);
+
+ private:
+  struct ExecFrame {
+    RuntimeClass* cls = nullptr;
+    const MethodInfo* method = nullptr;
+    PreparedMethod* prepared = nullptr;
+    std::vector<Value> locals;
+    std::vector<Value> stack;
+    size_t pc = 0;
+  };
+
+  Result<PreparedMethod*> Prepare(RuntimeClass* cls, const MethodInfo* method);
+  Status PushFrame(RuntimeClass* cls, const MethodInfo* method, std::vector<Value> args);
+  Result<CallOutcome> Loop();
+
+  // Ensures <clinit> has run (first active use). Guest failures surface as a
+  // pending exception; the return value is a host-level status.
+  Status EnsureInitialized(RuntimeClass* cls);
+
+  // Executes one instruction of the top frame. Guest exceptions are signalled
+  // through machine_.ThrowGuest; host errors abort the run.
+  Status Step();
+
+  // Unwinds the pending guest exception to the nearest matching handler;
+  // returns false when no handler exists and the frame stack is empty.
+  Result<bool> DispatchPendingException();
+
+  // Invocation helper shared by the three invoke opcodes. `ic` is the
+  // quickening cache slot of the invoke instruction.
+  Status Invoke(Op op, uint16_t cp_index, InlineCache& ic);
+  Status CallNative(RuntimeClass* owner, const MethodInfo* method, std::vector<Value> args);
+
+  void CollectFrameRoots(std::vector<ObjRef>* roots) const;
+
+  Machine& machine_;
+  std::vector<ExecFrame> frames_;
+  Value return_value_ = Value::Null();
+  bool has_return_value_ = false;
+  std::function<void(std::vector<ObjRef>*)> previous_root_provider_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_RUNTIME_INTERP_H_

@@ -1,0 +1,60 @@
+#include "src/runtime/stack_security.h"
+
+#include "src/runtime/machine.h"
+#include "src/support/strings.h"
+
+namespace dvm {
+namespace {
+
+// Per-frame cost of inspecting one stack frame during a JDK-style walk.
+constexpr uint64_t kNanosPerFrameInspected = 350;
+
+}  // namespace
+
+void StackIntrospectionSecurity::Grant(const std::string& domain,
+                                       const std::string& permission) {
+  grants_[domain].insert(permission);
+}
+
+void StackIntrospectionSecurity::GrantAll(const std::string& domain) {
+  all_granted_.insert(domain);
+}
+
+bool StackIntrospectionSecurity::DomainHolds(const std::string& domain,
+                                             const std::string& permission) const {
+  if (domain.empty()) {
+    return true;  // trusted system code
+  }
+  if (all_granted_.count(domain) > 0) {
+    return true;
+  }
+  auto it = grants_.find(domain);
+  if (it == grants_.end()) {
+    return false;
+  }
+  for (const auto& pattern : it->second) {
+    if (GlobMatch(pattern, permission)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StackIntrospectionSecurity::Check(Machine& machine, const std::string& permission) {
+  checks_++;
+  machine.counters().security_checks++;
+  uint64_t walk_cost = machine.call_stack().size() * kNanosPerFrameInspected;
+  machine.AddNanos(walk_cost);
+  machine.AddServiceNanos("security", walk_cost);
+  for (const FrameInfo& frame : machine.call_stack()) {
+    if (frame.cls == nullptr) {
+      continue;
+    }
+    if (!DomainHolds(frame.cls->security_domain, permission)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dvm

@@ -1,0 +1,46 @@
+// JDK 1.2-style stack-introspection access control — the monolithic baseline
+// that Figure 9 compares the DVM security service against.
+//
+// Every loaded class carries a security domain (RuntimeClass::security_domain;
+// empty = trusted system code). A checked operation walks the entire guest call
+// stack and requires every frame's domain to hold the permission, mirroring
+// [Gong & Schemers 98]. The walk itself is cheap; the expensive parts in the
+// JDK (permission object construction, file path canonicalization) are charged
+// by the call sites in natives.cc with constants calibrated to Figure 9.
+#ifndef SRC_RUNTIME_STACK_SECURITY_H_
+#define SRC_RUNTIME_STACK_SECURITY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace dvm {
+
+class Machine;
+
+class StackIntrospectionSecurity {
+ public:
+  // Grants `permission` (glob pattern allowed, e.g. "file.*") to a domain.
+  void Grant(const std::string& domain, const std::string& permission);
+  // Marks a domain fully trusted.
+  void GrantAll(const std::string& domain);
+
+  // Walks the machine's guest call stack. Returns true when every frame's
+  // domain holds the permission. Charges per-frame walk time; callers add the
+  // operation-specific overhead themselves.
+  bool Check(Machine& machine, const std::string& permission);
+
+  uint64_t checks_performed() const { return checks_; }
+
+ private:
+  bool DomainHolds(const std::string& domain, const std::string& permission) const;
+
+  std::map<std::string, std::set<std::string>> grants_;
+  std::set<std::string> all_granted_;
+  uint64_t checks_ = 0;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_RUNTIME_STACK_SECURITY_H_

@@ -1,0 +1,198 @@
+#include "src/runtime/syslib.h"
+
+#include "src/bytecode/builder.h"
+#include "src/runtime/guestlib.h"
+#include "src/support/strings.h"
+
+namespace dvm {
+namespace {
+
+constexpr uint16_t kPub = AccessFlags::kPublic;
+constexpr uint16_t kPubStatic = AccessFlags::kPublic | AccessFlags::kStatic;
+
+ClassFile Must(Result<ClassFile> r) {
+  // The library is built from constants; a failure is a programming error.
+  if (!r.ok()) {
+    // LCOV_EXCL_START
+    std::abort();
+    // LCOV_EXCL_STOP
+  }
+  return std::move(r).value();
+}
+
+ClassFile BuildObject() {
+  ClassBuilder cb("java/lang/Object", "");
+  cb.AddDefaultConstructor();
+  cb.AddNativeMethod(kPub, "hashCode", "()I");
+  return Must(cb.Build());
+}
+
+ClassFile BuildString() {
+  ClassBuilder cb("java/lang/String", "java/lang/Object",
+                  AccessFlags::kPublic | AccessFlags::kFinal);
+  cb.AddDefaultConstructor();
+  cb.AddNativeMethod(kPub, "length", "()I");
+  cb.AddNativeMethod(kPub, "charAt", "(I)I");
+  cb.AddNativeMethod(kPub, "concat", "(Ljava/lang/String;)Ljava/lang/String;");
+  cb.AddNativeMethod(kPub, "equalsStr", "(Ljava/lang/String;)I");
+  cb.AddNativeMethod(kPub, "hashCode", "()I");
+  return Must(cb.Build());
+}
+
+ClassFile BuildInteger() {
+  ClassBuilder cb("java/lang/Integer", "java/lang/Object");
+  cb.AddDefaultConstructor();
+  cb.AddNativeMethod(kPubStatic, "toString", "(I)Ljava/lang/String;");
+  cb.AddNativeMethod(kPubStatic, "parseInt", "(Ljava/lang/String;)I");
+  return Must(cb.Build());
+}
+
+ClassFile BuildThrowable() {
+  ClassBuilder cb("java/lang/Throwable", "java/lang/Object");
+  cb.AddField(kPub, "message", "Ljava/lang/String;");
+  cb.AddDefaultConstructor();
+  MethodBuilder& ctor = cb.AddMethod(kPub, "<init>", "(Ljava/lang/String;)V");
+  ctor.Emit(Op::kAload, 0);
+  ctor.InvokeSpecial("java/lang/Object", "<init>", "()V");
+  ctor.Emit(Op::kAload, 0).Emit(Op::kAload, 1);
+  ctor.PutField("java/lang/Throwable", "message", "Ljava/lang/String;");
+  ctor.Emit(Op::kReturn);
+  MethodBuilder& get = cb.AddMethod(kPub, "getMessage", "()Ljava/lang/String;");
+  get.Emit(Op::kAload, 0);
+  get.GetField("java/lang/Throwable", "message", "Ljava/lang/String;");
+  get.Emit(Op::kAreturn);
+  return Must(cb.Build());
+}
+
+// An exception/error class: default constructor plus a (String) constructor
+// that delegates to the superclass.
+ClassFile BuildThrowableSubclass(const std::string& name, const std::string& super) {
+  ClassBuilder cb(name, super);
+  cb.AddDefaultConstructor();
+  MethodBuilder& ctor = cb.AddMethod(kPub, "<init>", "(Ljava/lang/String;)V");
+  ctor.Emit(Op::kAload, 0).Emit(Op::kAload, 1);
+  ctor.InvokeSpecial(super, "<init>", "(Ljava/lang/String;)V");
+  ctor.Emit(Op::kReturn);
+  return Must(cb.Build());
+}
+
+ClassFile BuildSystem() {
+  ClassBuilder cb("java/lang/System", "java/lang/Object");
+  cb.AddNativeMethod(kPubStatic, "println", "(Ljava/lang/String;)V");
+  cb.AddNativeMethod(kPubStatic, "currentTimeMillis", "()J");
+  cb.AddNativeMethod(kPubStatic, "getProperty", "(Ljava/lang/String;)Ljava/lang/String;");
+  cb.AddNativeMethod(kPubStatic, "setProperty", "(Ljava/lang/String;Ljava/lang/String;)V");
+  return Must(cb.Build());
+}
+
+ClassFile BuildThread() {
+  ClassBuilder cb("java/lang/Thread", "java/lang/Object");
+  cb.AddDefaultConstructor();
+  cb.AddNativeMethod(kPubStatic, "setPriority", "(I)V");
+  cb.AddNativeMethod(kPubStatic, "getPriority", "()I");
+  cb.AddNativeMethod(kPubStatic, "sleep", "(J)V");
+  return Must(cb.Build());
+}
+
+ClassFile BuildFile() {
+  ClassBuilder cb("java/io/File", "java/lang/Object");
+  // Static handle-based API: open returns a handle, read consumes from it.
+  cb.AddNativeMethod(kPubStatic, "open", "(Ljava/lang/String;)I");
+  cb.AddNativeMethod(kPubStatic, "read", "(I)I");
+  cb.AddNativeMethod(kPubStatic, "exists", "(Ljava/lang/String;)I");
+  return Must(cb.Build());
+}
+
+// Dynamic service components. Bodies are native; the services module binds
+// implementations. Their class files must exist so rewritten code links.
+ClassFile BuildRtVerifier() {
+  ClassBuilder cb(kRtVerifierClass, "java/lang/Object");
+  cb.AddNativeMethod(kPubStatic, "CheckClass", "(Ljava/lang/String;)V");
+  cb.AddNativeMethod(kPubStatic, "CheckField",
+                     "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V");
+  cb.AddNativeMethod(kPubStatic, "CheckMethod",
+                     "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;)V");
+  cb.AddNativeMethod(kPubStatic, "CheckAssignable",
+                     "(Ljava/lang/String;Ljava/lang/String;)V");
+  return Must(cb.Build());
+}
+
+ClassFile BuildRtEnforcer() {
+  ClassBuilder cb(kRtEnforcerClass, "java/lang/Object");
+  // checkPermission(operation, target)
+  cb.AddNativeMethod(kPubStatic, "checkPermission",
+                     "(Ljava/lang/String;Ljava/lang/String;)V");
+  return Must(cb.Build());
+}
+
+ClassFile BuildRtAuditor() {
+  ClassBuilder cb(kRtAuditorClass, "java/lang/Object");
+  cb.AddNativeMethod(kPubStatic, "enter", "(Ljava/lang/String;)V");
+  cb.AddNativeMethod(kPubStatic, "exit", "(Ljava/lang/String;)V");
+  return Must(cb.Build());
+}
+
+ClassFile BuildRtProfiler() {
+  ClassBuilder cb(kRtProfilerClass, "java/lang/Object");
+  cb.AddNativeMethod(kPubStatic, "enter", "(Ljava/lang/String;)V");
+  cb.AddNativeMethod(kPubStatic, "exit", "(Ljava/lang/String;)V");
+  return Must(cb.Build());
+}
+
+}  // namespace
+
+std::vector<ClassFile> BuildSystemLibrary() {
+  std::vector<ClassFile> lib;
+  lib.push_back(BuildObject());
+  lib.push_back(BuildString());
+  lib.push_back(BuildInteger());
+  lib.push_back(BuildThrowable());
+  const char* kThrowableSubclasses[][2] = {
+      {"java/lang/Exception", "java/lang/Throwable"},
+      {"java/lang/Error", "java/lang/Throwable"},
+      {"java/lang/RuntimeException", "java/lang/Exception"},
+      {"java/lang/SecurityException", "java/lang/RuntimeException"},
+      {"java/lang/NullPointerException", "java/lang/RuntimeException"},
+      {"java/lang/ArithmeticException", "java/lang/RuntimeException"},
+      {"java/lang/ArrayIndexOutOfBoundsException", "java/lang/RuntimeException"},
+      {"java/lang/ClassCastException", "java/lang/RuntimeException"},
+      {"java/lang/NegativeArraySizeException", "java/lang/RuntimeException"},
+      {"java/lang/IllegalStateException", "java/lang/RuntimeException"},
+      {"java/lang/NumberFormatException", "java/lang/RuntimeException"},
+      {"java/lang/LinkageError", "java/lang/Error"},
+      {"java/lang/VerifyError", "java/lang/LinkageError"},
+      {"java/lang/NoSuchFieldError", "java/lang/LinkageError"},
+      {"java/lang/NoSuchMethodError", "java/lang/LinkageError"},
+      {"java/lang/AbstractMethodError", "java/lang/LinkageError"},
+      {"java/lang/IncompatibleClassChangeError", "java/lang/LinkageError"},
+      {"java/lang/ExceptionInInitializerError", "java/lang/LinkageError"},
+      {"java/lang/OutOfMemoryError", "java/lang/Error"},
+      {"java/lang/StackOverflowError", "java/lang/Error"},
+  };
+  for (const auto& pair : kThrowableSubclasses) {
+    lib.push_back(BuildThrowableSubclass(pair[0], pair[1]));
+  }
+  lib.push_back(BuildSystem());
+  lib.push_back(BuildThread());
+  lib.push_back(BuildFile());
+  // Guest-coded collections (bytecode, not natives — see guestlib.h).
+  lib.push_back(BuildGuestVector());
+  lib.push_back(BuildGuestIntMap());
+  lib.push_back(BuildRtVerifier());
+  lib.push_back(BuildRtEnforcer());
+  lib.push_back(BuildRtAuditor());
+  lib.push_back(BuildRtProfiler());
+  return lib;
+}
+
+void InstallSystemLibrary(MapClassProvider& provider) {
+  for (const ClassFile& cls : BuildSystemLibrary()) {
+    provider.AddClassFile(cls);
+  }
+}
+
+bool IsSystemClass(const std::string& class_name) {
+  return StartsWith(class_name, "java/") || StartsWith(class_name, "dvm/rt/");
+}
+
+}  // namespace dvm

@@ -1,0 +1,39 @@
+// The system class library every client ships with: java/lang basics, the
+// exception hierarchy, java/lang/System, java/io/File, java/lang/Thread, and
+// the dvm/rt service stub classes whose native methods are bound by the
+// dynamic service components (RTVerifier, Enforcer, Auditor, Profiler).
+//
+// The static services on the proxy also hold these classes: they are the part
+// of the namespace the verifier *can* see, so references into the system
+// library verify fully statically, while references to other application
+// classes become link assumptions.
+#ifndef SRC_RUNTIME_SYSLIB_H_
+#define SRC_RUNTIME_SYSLIB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bytecode/classfile.h"
+#include "src/runtime/class_registry.h"
+
+namespace dvm {
+
+// Well-known dynamic service component classes.
+inline constexpr const char* kRtVerifierClass = "dvm/rt/RTVerifier";
+inline constexpr const char* kRtEnforcerClass = "dvm/rt/Enforcer";
+inline constexpr const char* kRtAuditorClass = "dvm/rt/Auditor";
+inline constexpr const char* kRtProfilerClass = "dvm/rt/Profiler";
+
+// Builds the full library. Deterministic: identical output on every call.
+std::vector<ClassFile> BuildSystemLibrary();
+
+// Serializes the library into a provider (client boot image / proxy cache).
+void InstallSystemLibrary(MapClassProvider& provider);
+
+// True for classes that are part of the trusted system library; the proxy's
+// services do not rewrite these.
+bool IsSystemClass(const std::string& class_name);
+
+}  // namespace dvm
+
+#endif  // SRC_RUNTIME_SYSLIB_H_

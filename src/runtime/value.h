@@ -1,0 +1,58 @@
+// Runtime values. One stack/local slot holds one Value; references are opaque
+// handles into the Heap (0 = null).
+#ifndef SRC_RUNTIME_VALUE_H_
+#define SRC_RUNTIME_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dvm {
+
+using ObjRef = uint32_t;
+inline constexpr ObjRef kNullRef = 0;
+
+struct Value {
+  enum class Kind : uint8_t { kInt, kLong, kRef };
+
+  Kind kind = Kind::kInt;
+  int64_t num = 0;  // int (sign-extended), long, or ObjRef
+
+  static Value Int(int32_t v) { return {Kind::kInt, v}; }
+  static Value Long(int64_t v) { return {Kind::kLong, v}; }
+  static Value Ref(ObjRef ref) { return {Kind::kRef, static_cast<int64_t>(ref)}; }
+  static Value Null() { return Ref(kNullRef); }
+
+  int32_t AsInt() const { return static_cast<int32_t>(num); }
+  int64_t AsLong() const { return num; }
+  ObjRef AsRef() const { return static_cast<ObjRef>(num); }
+  bool IsNullRef() const { return kind == Kind::kRef && num == 0; }
+
+  bool operator==(const Value& other) const = default;
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kInt:
+        return std::to_string(AsInt());
+      case Kind::kLong:
+        return std::to_string(AsLong()) + "L";
+      case Kind::kRef:
+        return num == 0 ? "null" : ("ref#" + std::to_string(AsRef()));
+    }
+    return "?";
+  }
+};
+
+// Zero value for a field/array-element of the given descriptor.
+inline Value DefaultValueFor(const std::string& descriptor) {
+  if (descriptor == "I") {
+    return Value::Int(0);
+  }
+  if (descriptor == "J") {
+    return Value::Long(0);
+  }
+  return Value::Null();
+}
+
+}  // namespace dvm
+
+#endif  // SRC_RUNTIME_VALUE_H_

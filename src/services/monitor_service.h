@@ -1,0 +1,149 @@
+// Remote monitoring and profiling services (paper section 3.3).
+//
+// AuditFilter / ProfileFilter are static components that instrument method
+// entries (and exits, for auditing) with calls into the dvm/rt/Auditor and
+// dvm/rt/Profiler dynamic components. The dynamic components forward events to
+// the central AdministrationConsole over a handshake-established session, so
+// audit logs live on a host that untrusted code cannot tamper with.
+//
+// The profiler additionally builds the dynamic call graph and the first-use
+// method order that drives the repartitioning optimizer (section 5).
+#ifndef SRC_SERVICES_MONITOR_SERVICE_H_
+#define SRC_SERVICES_MONITOR_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/rewrite/filter.h"
+#include "src/runtime/machine.h"
+
+namespace dvm {
+
+// --- central console ---------------------------------------------------------
+
+struct AuditEvent {
+  uint64_t session_id = 0;
+  uint64_t sequence = 0;
+  std::string kind;       // "enter", "exit", "session-start", ...
+  std::string detail;     // usually "class.method"
+};
+
+struct MonitoredSession {
+  uint64_t session_id = 0;
+  std::string user;
+  std::string client_host;
+  std::string hardware_config;
+  std::string vm_version;
+};
+
+// The administration console: session handshakes, append-only audit log,
+// aggregate call graph and code-usage statistics.
+class AdministrationConsole {
+ public:
+  // Handshake: establishes credentials and assigns a session identifier.
+  uint64_t OpenSession(const std::string& user, const std::string& client_host,
+                       const std::string& hardware_config, const std::string& vm_version);
+
+  void Append(AuditEvent event);
+  // Call-graph edge (caller -> callee) reported by the profiling service.
+  void RecordCallEdge(const std::string& caller, const std::string& callee);
+  void RecordFirstUse(uint64_t session_id, const std::string& method_id);
+  // Code-version inventory (section 3.3: the console "monitors ... code
+  // versions"): digest of each class version the proxy served, plus a flag
+  // when a class changed digest mid-flight (stale mirrors, upgrades).
+  void RecordCodeVersion(const std::string& class_name, const std::string& digest_hex);
+
+  const std::vector<AuditEvent>& log() const { return log_; }
+  const std::vector<MonitoredSession>& sessions() const { return sessions_; }
+  const std::map<std::pair<std::string, std::string>, uint64_t>& call_graph() const {
+    return call_graph_;
+  }
+  // First-use order of methods for a session (repartitioning input).
+  const std::vector<std::string>& FirstUseOrder(uint64_t session_id) const;
+  const std::map<std::string, std::string>& code_versions() const { return code_versions_; }
+  uint64_t code_version_changes() const { return code_version_changes_; }
+
+  uint64_t events_received() const { return log_.size(); }
+
+ private:
+  uint64_t next_session_id_ = 1;
+  std::vector<MonitoredSession> sessions_;
+  std::vector<AuditEvent> log_;
+  std::map<std::pair<std::string, std::string>, uint64_t> call_graph_;
+  std::map<uint64_t, std::vector<std::string>> first_use_;
+  std::map<std::string, std::string> code_versions_;
+  uint64_t code_version_changes_ = 0;
+};
+
+// --- static components ---------------------------------------------------------
+
+class AuditFilter : public CodeFilter {
+ public:
+  std::string name() const override { return "auditor"; }
+  Result<FilterOutcome> Apply(ClassFile& cls, const FilterContext& ctx) override;
+
+  uint64_t methods_instrumented() const { return methods_instrumented_; }
+
+ private:
+  uint64_t methods_instrumented_ = 0;
+};
+
+class ProfileFilter : public CodeFilter {
+ public:
+  std::string name() const override { return "profiler"; }
+  Result<FilterOutcome> Apply(ClassFile& cls, const FilterContext& ctx) override;
+
+ private:
+  uint64_t methods_instrumented_ = 0;
+};
+
+// --- dynamic components ----------------------------------------------------------
+
+// Client-side audit session: handshakes with the console, then forwards enter/
+// exit events. Events are buffered and flushed in batches to model the
+// asynchronous connection.
+class AuditSession {
+ public:
+  AuditSession(AdministrationConsole* console, std::string user, std::string client_host);
+
+  void Install(Machine& machine);
+  void Flush();
+
+  uint64_t session_id() const { return session_id_; }
+  uint64_t events_sent() const { return events_sent_; }
+
+ private:
+  void Emit(Machine& machine, const std::string& kind, const std::string& detail);
+
+  AdministrationConsole* console_;
+  uint64_t session_id_;
+  uint64_t sequence_ = 0;
+  uint64_t events_sent_ = 0;
+  std::vector<AuditEvent> buffer_;
+};
+
+// Client-side profile collector: first-use order and call-graph edges, pushed
+// to the console and queryable locally (used to derive transfer profiles).
+class ProfileCollector {
+ public:
+  ProfileCollector(AdministrationConsole* console, uint64_t session_id)
+      : console_(console), session_id_(session_id) {}
+
+  void Install(Machine& machine);
+
+  const std::vector<std::string>& first_use_order() const { return first_use_order_; }
+
+ private:
+  AdministrationConsole* console_;
+  uint64_t session_id_;
+  std::map<std::string, bool> seen_;
+  std::vector<std::string> first_use_order_;
+  std::vector<std::string> active_stack_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_SERVICES_MONITOR_SERVICE_H_

@@ -1,0 +1,56 @@
+#include "src/simnet/sim.h"
+
+#include <cassert>
+
+namespace dvm {
+
+void EventQueue::Schedule(SimTime when, Callback callback) {
+  assert(when >= now_);
+  events_.push(Event{when, next_sequence_++, std::move(callback)});
+}
+
+bool EventQueue::RunNext() {
+  if (events_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; the callback must be moved out before
+  // pop, so copy the POD parts first.
+  Event event = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  now_ = event.when;
+  event.callback();
+  return true;
+}
+
+void EventQueue::RunUntilEmpty() {
+  while (RunNext()) {
+  }
+}
+
+SimTime SimLink::Deliver(SimTime start, uint64_t bytes) {
+  SimTime begin = std::max(start, busy_until_);
+  SimTime transmission = TransmissionTime(bytes);
+  busy_until_ = begin + transmission;
+  bytes_carried_ += bytes;
+  return busy_until_ + latency_;
+}
+
+SimTime CpuServer::Execute(SimTime ready, SimTime cpu) {
+  SimTime begin = std::max(ready, busy_until_);
+  busy_until_ = begin + cpu;
+  busy_time_ += cpu;
+  jobs_++;
+  return busy_until_;
+}
+
+SimLink MakeEthernet10Mb() {
+  // 10 Mb/s shared Ethernet, sub-millisecond LAN latency.
+  return SimLink::FromBitsPerSecond(10e6, 500'000);
+}
+
+SimLink MakeModem(double kilobits_per_s) {
+  // Wireless / dial-up links of section 5: high latency, low bandwidth.
+  return SimLink::FromBitsPerSecond(kilobits_per_s * 1000.0, 100 * kMillisecond);
+}
+
+}  // namespace dvm

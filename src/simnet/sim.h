@@ -1,0 +1,142 @@
+// Deterministic discrete-event network substrate.
+//
+// The paper's testbed is a pool of clients on 10 Mb/s Ethernet behind an HTTP
+// proxy, with two 100 Mb/s Internet uplinks. We reproduce the experiments on a
+// simulator built from three primitives:
+//   EventQueue — a time-ordered callback queue (deterministic tie-breaking),
+//   SimLink    — a serializing FIFO pipe with bandwidth + latency,
+//   CpuServer  — a single-CPU FIFO work queue (the proxy's processor).
+// Wide-area fetch latency is modelled as a lognormal distribution calibrated
+// to the paper's measurement (mean 2198 ms, sigma 3752 ms, section 4.1.2).
+#ifndef SRC_SIMNET_SIM_H_
+#define SRC_SIMNET_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace dvm {
+
+using SimTime = uint64_t;  // nanoseconds
+
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void Schedule(SimTime when, Callback callback);
+  // Runs the earliest pending event; returns false when none remain.
+  bool RunNext();
+  void RunUntilEmpty();
+
+  SimTime now() const { return now_; }
+  size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t sequence;
+    Callback callback;
+    bool operator>(const Event& other) const {
+      return when != other.when ? when > other.when : sequence > other.sequence;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  SimTime now_ = 0;
+  uint64_t next_sequence_ = 0;
+};
+
+// A duplex point-to-point link, modelled as two independent serializing pipes.
+// Deliver() computes the receiver-side completion time of a message offered at
+// `start`: the sender serializes messages (FIFO), then propagation latency.
+class SimLink {
+ public:
+  SimLink(double bytes_per_second, SimTime latency)
+      : bytes_per_second_(bytes_per_second), latency_(latency) {}
+
+  static SimLink FromBitsPerSecond(double bits_per_second, SimTime latency) {
+    return SimLink(bits_per_second / 8.0, latency);
+  }
+
+  SimTime Deliver(SimTime start, uint64_t bytes);
+
+  SimTime TransmissionTime(uint64_t bytes) const {
+    return static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_second_ * 1e9);
+  }
+
+  double bytes_per_second() const { return bytes_per_second_; }
+  SimTime latency() const { return latency_; }
+  SimTime busy_until() const { return busy_until_; }
+  uint64_t bytes_carried() const { return bytes_carried_; }
+  void Reset() {
+    busy_until_ = 0;
+    bytes_carried_ = 0;
+  }
+
+ private:
+  double bytes_per_second_;
+  SimTime latency_;
+  SimTime busy_until_ = 0;
+  uint64_t bytes_carried_ = 0;
+};
+
+// Single-processor FIFO server: jobs arriving at `ready` run for `cpu` after
+// the queue drains. Models the proxy host's CPU for the scaling experiment.
+class CpuServer {
+ public:
+  // Returns the completion time.
+  SimTime Execute(SimTime ready, SimTime cpu);
+
+  SimTime busy_until() const { return busy_until_; }
+  SimTime busy_time() const { return busy_time_; }
+  uint64_t jobs() const { return jobs_; }
+  void Reset() {
+    busy_until_ = 0;
+    busy_time_ = 0;
+    jobs_ = 0;
+  }
+
+ private:
+  SimTime busy_until_ = 0;
+  SimTime busy_time_ = 0;
+  uint64_t jobs_ = 0;
+};
+
+// Wide-area fetch model: per-object latency drawn from the paper's measured
+// distribution plus size-dependent transfer at `bytes_per_second`.
+class WanModel {
+ public:
+  WanModel(uint64_t seed, double mean_latency_ms = 2198.0, double stddev_latency_ms = 3752.0,
+           double bytes_per_second = 40'000.0)
+      : rng_(seed),
+        mean_ms_(mean_latency_ms),
+        stddev_ms_(stddev_latency_ms),
+        bytes_per_second_(bytes_per_second) {}
+
+  // Duration of fetching `bytes` from an Internet origin.
+  SimTime FetchDuration(uint64_t bytes) {
+    double latency_ms = rng_.NextLognormal(mean_ms_, stddev_ms_);
+    double transfer_s = static_cast<double>(bytes) / bytes_per_second_;
+    return static_cast<SimTime>(latency_ms * 1e6 + transfer_s * 1e9);
+  }
+
+ private:
+  Rng rng_;
+  double mean_ms_;
+  double stddev_ms_;
+  double bytes_per_second_;
+};
+
+// Canonical link presets from the paper's environment.
+SimLink MakeEthernet10Mb();                 // client LAN
+SimLink MakeModem(double kilobits_per_s);   // section 5 slow links (28.8 up)
+
+}  // namespace dvm
+
+#endif  // SRC_SIMNET_SIM_H_

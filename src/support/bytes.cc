@@ -1,0 +1,126 @@
+#include "src/support/bytes.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dvm {
+
+void ByteWriter::U16(uint16_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::U32(uint32_t v) {
+  buf_.push_back(static_cast<uint8_t>(v >> 24));
+  buf_.push_back(static_cast<uint8_t>(v >> 16));
+  buf_.push_back(static_cast<uint8_t>(v >> 8));
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v >> 32));
+  U32(static_cast<uint32_t>(v));
+}
+
+void ByteWriter::Str(const std::string& s) {
+  assert(s.size() <= 0xFFFF);
+  U16(static_cast<uint16_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::Raw(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+void ByteWriter::PatchU16(size_t offset, uint16_t v) {
+  assert(offset + 2 <= buf_.size());
+  buf_[offset] = static_cast<uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<uint8_t>(v);
+}
+
+void ByteWriter::PatchU32(size_t offset, uint32_t v) {
+  assert(offset + 4 <= buf_.size());
+  buf_[offset] = static_cast<uint8_t>(v >> 24);
+  buf_[offset + 1] = static_cast<uint8_t>(v >> 16);
+  buf_[offset + 2] = static_cast<uint8_t>(v >> 8);
+  buf_[offset + 3] = static_cast<uint8_t>(v);
+}
+
+Error ByteReader::Truncated(const char* what) const {
+  return Error{ErrorCode::kParseError,
+               std::string("truncated stream reading ") + what + " at offset " +
+                   std::to_string(pos_)};
+}
+
+Result<uint8_t> ByteReader::U8() {
+  if (pos_ + 1 > size_) {
+    return Truncated("u8");
+  }
+  return data_[pos_++];
+}
+
+Result<uint16_t> ByteReader::U16() {
+  if (pos_ + 2 > size_) {
+    return Truncated("u16");
+  }
+  uint16_t v = static_cast<uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> ByteReader::U32() {
+  if (pos_ + 4 > size_) {
+    return Truncated("u32");
+  }
+  uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
+               (static_cast<uint32_t>(data_[pos_ + 1]) << 16) |
+               (static_cast<uint32_t>(data_[pos_ + 2]) << 8) |
+               static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::U64() {
+  DVM_ASSIGN_OR_RETURN(uint32_t hi, U32());
+  DVM_ASSIGN_OR_RETURN(uint32_t lo, U32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<int32_t> ByteReader::I32() {
+  DVM_ASSIGN_OR_RETURN(uint32_t v, U32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> ByteReader::I64() {
+  DVM_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<std::string> ByteReader::Str() {
+  DVM_ASSIGN_OR_RETURN(uint16_t len, U16());
+  if (pos_ + len > size_) {
+    return Truncated("string body");
+  }
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<Bytes> ByteReader::Raw(size_t len) {
+  if (pos_ + len > size_) {
+    return Truncated("raw bytes");
+  }
+  Bytes out(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return out;
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (pos_ + n > size_) {
+    return Truncated("skip");
+  }
+  pos_ += n;
+  return Status::Ok();
+}
+
+}  // namespace dvm

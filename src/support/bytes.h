@@ -1,0 +1,74 @@
+// Bounds-checked big-endian byte stream reader/writer used by the class file
+// serializer, the wire protocol of the simulated network, and the signature code.
+#ifndef SRC_SUPPORT_BYTES_H_
+#define SRC_SUPPORT_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace dvm {
+
+using Bytes = std::vector<uint8_t>;
+
+// Appends fixed-width big-endian integers and length-prefixed strings.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  // u16 length prefix followed by raw bytes; strings longer than 65535 are
+  // a caller bug (class file constants are bounded well below that).
+  void Str(const std::string& s);
+  void Raw(const uint8_t* data, size_t len);
+  void Raw(const Bytes& data) { Raw(data.data(), data.size()); }
+
+  size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+  // Patches a previously written u16/u32 in place (for back-filled lengths).
+  void PatchU16(size_t offset, uint16_t v);
+  void PatchU32(size_t offset, uint32_t v);
+
+ private:
+  Bytes buf_;
+};
+
+// Consumes the same encoding; every read is bounds checked and returns a
+// kParseError on truncation so malformed class files cannot crash the proxy.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> U8();
+  Result<uint16_t> U16();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int32_t> I32();
+  Result<int64_t> I64();
+  Result<std::string> Str();
+  Result<Bytes> Raw(size_t len);
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  Status Skip(size_t n);
+
+ private:
+  Error Truncated(const char* what) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_SUPPORT_BYTES_H_

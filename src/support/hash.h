@@ -1,0 +1,30 @@
+// FNV-1a string hashing, used for cache keys and interned symbol tables.
+#ifndef SRC_SUPPORT_HASH_H_
+#define SRC_SUPPORT_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dvm {
+
+inline uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a(const uint8_t* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; i++) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace dvm
+
+#endif  // SRC_SUPPORT_HASH_H_

@@ -1,0 +1,38 @@
+// Minimal leveled logging. Experiments run quietly by default; set the level to
+// kDebug when tracing a pipeline or an interpreter run.
+#ifndef SRC_SUPPORT_LOGGING_H_
+#define SRC_SUPPORT_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dvm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, const std::string& message);
+
+// Stream-style logging helper: DVM_LOG(kInfo) << "loaded " << n << " classes";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define DVM_LOG(level) ::dvm::LogLine(::dvm::LogLevel::level)
+
+}  // namespace dvm
+
+#endif  // SRC_SUPPORT_LOGGING_H_

@@ -1,0 +1,44 @@
+// MD5 (RFC 1321). The paper's static services attach digital signatures so that
+// injected checks are inseparable from application code (section 2, [Rivest 92]).
+// We implement MD5 from the RFC and build a keyed digest on top (see proxy/signature).
+#ifndef SRC_SUPPORT_MD5_H_
+#define SRC_SUPPORT_MD5_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/support/bytes.h"
+
+namespace dvm {
+
+using Md5Digest = std::array<uint8_t, 16>;
+
+class Md5 {
+ public:
+  Md5();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(const std::string& s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  // Finishes the computation; the object must not be reused afterwards.
+  Md5Digest Finish();
+
+  static Md5Digest Hash(const Bytes& data);
+  static std::string ToHex(const Md5Digest& digest);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t a_, b_, c_, d_;
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_SUPPORT_MD5_H_

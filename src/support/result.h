@@ -1,0 +1,142 @@
+// Result<T>: value-or-error return type used by every fallible operation in the
+// DVM. The codebase does not use C++ exceptions; guest-level (bytecode) exceptions
+// are modelled as interpreter values instead.
+#ifndef SRC_SUPPORT_RESULT_H_
+#define SRC_SUPPORT_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dvm {
+
+// Broad error categories. Services map these onto their own failure channels
+// (e.g. the verification service turns kVerifyError into a replacement class
+// that raises a guest exception, per paper section 3.1).
+enum class ErrorCode {
+  kParseError,       // malformed class file or policy document
+  kVerifyError,      // safety axiom violated (phases 1-4)
+  kLinkError,        // unresolved class/field/method at link time
+  kRuntimeError,     // interpreter-level failure (host-side bug surface)
+  kSecurityError,    // access denied by policy
+  kNotFound,         // missing class, file, or cache entry
+  kInvalidArgument,  // caller misuse of a public API
+  kCapacity,         // resource limit exceeded (heap, proxy memory, ...)
+  kNetwork,          // simulated transfer failure
+  kInternal,         // invariant violation
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string ToString() const { return std::string(ErrorCodeName(code)) + ": " + message; }
+};
+
+inline const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError:
+      return "ParseError";
+    case ErrorCode::kVerifyError:
+      return "VerifyError";
+    case ErrorCode::kLinkError:
+      return "LinkError";
+    case ErrorCode::kRuntimeError:
+      return "RuntimeError";
+    case ErrorCode::kSecurityError:
+      return "SecurityError";
+    case ErrorCode::kNotFound:
+      return "NotFound";
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kCapacity:
+      return "Capacity";
+    case ErrorCode::kNetwork:
+      return "Network";
+    case ErrorCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !failed_; }
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+// Propagation helpers. Usage:
+//   DVM_ASSIGN_OR_RETURN(auto cls, reader.ReadClass());
+//   DVM_RETURN_IF_ERROR(CheckSomething());
+#define DVM_CONCAT_INNER(a, b) a##b
+#define DVM_CONCAT(a, b) DVM_CONCAT_INNER(a, b)
+
+#define DVM_ASSIGN_OR_RETURN(decl, expr)              \
+  auto DVM_CONCAT(_res_, __LINE__) = (expr);          \
+  if (!DVM_CONCAT(_res_, __LINE__).ok()) {            \
+    return DVM_CONCAT(_res_, __LINE__).error();       \
+  }                                                   \
+  decl = std::move(DVM_CONCAT(_res_, __LINE__)).value()
+
+#define DVM_RETURN_IF_ERROR(expr)                     \
+  do {                                                \
+    auto _status = (expr);                            \
+    if (!_status.ok()) {                              \
+      return _status.error();                         \
+    }                                                 \
+  } while (0)
+
+}  // namespace dvm
+
+#endif  // SRC_SUPPORT_RESULT_H_

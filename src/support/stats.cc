@@ -1,0 +1,83 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvm {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_++;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples_) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean();
+  double m2 = 0.0;
+  for (double s : samples_) {
+    m2 += (s - mean) * (s - mean);
+  }
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) {
+    return sorted.front();
+  }
+  if (p >= 100.0) {
+    return sorted.back();
+  }
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double SampleSet::Min() const {
+  return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::Max() const {
+  return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+}  // namespace dvm

@@ -1,0 +1,52 @@
+// Lightweight statistics accumulators for the benchmark harnesses: running
+// mean/stddev (Welford) and percentile extraction over stored samples.
+#ifndef SRC_SUPPORT_STATS_H_
+#define SRC_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dvm {
+
+// Constant-space running mean / variance.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Stores samples; supports exact percentiles. Used where the paper reports
+// averages of five runs and standard deviations.
+class SampleSet {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Stddev() const;
+  // p in [0, 100]; linear interpolation between closest ranks.
+  double Percentile(double p) const;
+  double Min() const;
+  double Max() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_SUPPORT_STATS_H_

@@ -1,0 +1,23 @@
+// Small string helpers shared across modules.
+#ifndef SRC_SUPPORT_STRINGS_H_
+#define SRC_SUPPORT_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dvm {
+
+std::vector<std::string> Split(std::string_view s, char sep);
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+std::string Trim(std::string_view s);
+
+// Simple glob with '*' wildcard (any run of characters). Used by the security
+// policy's resource patterns, e.g. "/tmp/*" or "java.io.*".
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+}  // namespace dvm
+
+#endif  // SRC_SUPPORT_STRINGS_H_

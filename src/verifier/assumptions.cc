@@ -1,0 +1,61 @@
+#include "src/verifier/assumptions.h"
+
+#include <unordered_set>
+
+namespace dvm {
+
+const char* AssumptionKindName(AssumptionKind kind) {
+  switch (kind) {
+    case AssumptionKind::kClassExists:
+      return "ClassExists";
+    case AssumptionKind::kFieldExists:
+      return "FieldExists";
+    case AssumptionKind::kMethodExists:
+      return "MethodExists";
+    case AssumptionKind::kAssignable:
+      return "Assignable";
+  }
+  return "?";
+}
+
+std::string Assumption::ToString() const {
+  std::string out = AssumptionKindName(kind);
+  out += " ";
+  out += target_class;
+  if (kind == AssumptionKind::kFieldExists || kind == AssumptionKind::kMethodExists) {
+    out += "." + member_name + ":" + descriptor;
+  } else if (kind == AssumptionKind::kAssignable) {
+    out += " <: " + expected_class;
+  }
+  out += scope == AssumptionScope::kClass ? " [class]" : (" [method " + method_id + "]");
+  return out;
+}
+
+std::string Assumption::Key() const {
+  std::string key = std::to_string(static_cast<int>(kind));
+  key += '\x1f';
+  key += scope == AssumptionScope::kClass ? "" : method_id;
+  key += '\x1f';
+  key += target_class;
+  key += '\x1f';
+  key += member_name;
+  key += '\x1f';
+  key += descriptor;
+  key += '\x1f';
+  key += expected_class;
+  return key;
+}
+
+std::vector<Assumption> DedupAssumptions(std::vector<Assumption> assumptions) {
+  std::unordered_set<std::string> seen;
+  std::vector<Assumption> out;
+  out.reserve(assumptions.size());
+  for (auto& a : assumptions) {
+    if (seen.insert(a.Key()).second) {
+      out.push_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+}  // namespace dvm

@@ -1,0 +1,49 @@
+// Link-time assumptions collected during static verification (phases 1-3) and
+// discharged by the dynamic component (phase 4). Each assumption carries its
+// scope, which the rewriting service uses to decide where to place the residual
+// check: class-scoped assumptions guard class initialization, method-scoped
+// assumptions guard the first execution of the method that relies on them
+// (the __mainChecked pattern of Figure 3).
+#ifndef SRC_VERIFIER_ASSUMPTIONS_H_
+#define SRC_VERIFIER_ASSUMPTIONS_H_
+
+#include <string>
+#include <vector>
+
+namespace dvm {
+
+enum class AssumptionKind : uint8_t {
+  kClassExists,   // target_class must be loadable
+  kFieldExists,   // target_class exports member_name with descriptor
+  kMethodExists,  // target_class exports member_name with descriptor
+  kAssignable,    // target_class must be assignable to expected_class
+};
+
+enum class AssumptionScope : uint8_t {
+  kClass,   // affects the validity of the whole class (e.g. inheritance)
+  kMethod,  // affects only the method whose instructions rely on it
+};
+
+struct Assumption {
+  AssumptionKind kind = AssumptionKind::kClassExists;
+  AssumptionScope scope = AssumptionScope::kMethod;
+  std::string method_id;        // "name:descriptor" for method-scoped assumptions
+  std::string target_class;     // class the assumption is about
+  std::string member_name;      // field/method name for member assumptions
+  std::string descriptor;       // member descriptor, or expected class for kAssignable
+  std::string expected_class;   // kAssignable only
+
+  std::string ToString() const;
+  // Deduplication key; identical assumptions within one scope collapse to a
+  // single dynamic check.
+  std::string Key() const;
+};
+
+const char* AssumptionKindName(AssumptionKind kind);
+
+// Removes duplicates, preserving first-seen order.
+std::vector<Assumption> DedupAssumptions(std::vector<Assumption> assumptions);
+
+}  // namespace dvm
+
+#endif  // SRC_VERIFIER_ASSUMPTIONS_H_

@@ -1,0 +1,142 @@
+#include "src/verifier/link_checker.h"
+
+#include "src/bytecode/descriptor.h"
+
+namespace dvm {
+namespace {
+
+constexpr const char* kObject = "java/lang/Object";
+
+Error LinkErr(const std::string& message) { return Error{ErrorCode::kLinkError, message}; }
+
+Result<const ClassFile*> Require(const std::string& class_name, const ClassEnv& env) {
+  const ClassFile* cls = env.Lookup(class_name);
+  if (cls == nullptr) {
+    return LinkErr("class not found: " + class_name);
+  }
+  return cls;
+}
+
+}  // namespace
+
+Result<bool> IsSubclassOf(const std::string& sub, const std::string& super,
+                          const ClassEnv& env) {
+  if (super == kObject || sub == super) {
+    return true;
+  }
+  // Arrays: assignable to Object only (element covariance is resolved
+  // statically; the runtime sees exact array types).
+  if (!sub.empty() && sub[0] == '[') {
+    if (super.empty() || super[0] != '[') {
+      return false;
+    }
+    std::string se = ArrayElementDescriptor(sub);
+    std::string de = ArrayElementDescriptor(super);
+    if (se == de) {
+      return true;
+    }
+    if (se.size() > 1 && se[0] == 'L' && de.size() > 1 && de[0] == 'L') {
+      return IsSubclassOf(ClassNameFromDescriptor(se), ClassNameFromDescriptor(de), env);
+    }
+    return false;
+  }
+
+  std::string current = sub;
+  while (true) {
+    DVM_ASSIGN_OR_RETURN(const ClassFile* cls, Require(current, env));
+    for (uint16_t idx : cls->interfaces) {
+      auto name = cls->pool().ClassNameAt(idx);
+      if (name.ok()) {
+        if (name.value() == super) {
+          return true;
+        }
+        if (env.IsKnown(name.value())) {
+          auto via_iface = IsSubclassOf(name.value(), super, env);
+          if (via_iface.ok() && via_iface.value()) {
+            return true;
+          }
+        }
+      }
+    }
+    std::string parent = cls->super_name();
+    if (parent.empty()) {
+      return false;
+    }
+    if (parent == super) {
+      return true;
+    }
+    current = parent;
+  }
+}
+
+Status CheckAssumption(const Assumption& assumption, const ClassEnv& env,
+                       LinkCheckStats* stats) {
+  stats->dynamic_checks++;
+  switch (assumption.kind) {
+    case AssumptionKind::kClassExists: {
+      DVM_ASSIGN_OR_RETURN(const ClassFile* cls, Require(assumption.target_class, env));
+      (void)cls;
+      return Status::Ok();
+    }
+    case AssumptionKind::kFieldExists: {
+      // Walk the superclass chain, matching name and descriptor exactly — the
+      // "descriptor lookup and string comparison" of the paper.
+      std::string current = assumption.target_class;
+      while (true) {
+        DVM_ASSIGN_OR_RETURN(const ClassFile* cls, Require(current, env));
+        const FieldInfo* field = cls->FindField(assumption.member_name);
+        if (field != nullptr) {
+          stats->dynamic_checks++;
+          if (field->descriptor != assumption.descriptor) {
+            return LinkErr("field " + assumption.target_class + "." + assumption.member_name +
+                           " has descriptor " + field->descriptor + ", expected " +
+                           assumption.descriptor);
+          }
+          return Status::Ok();
+        }
+        std::string parent = cls->super_name();
+        if (parent.empty()) {
+          return LinkErr("field not found: " + assumption.target_class + "." +
+                         assumption.member_name);
+        }
+        current = parent;
+      }
+    }
+    case AssumptionKind::kMethodExists: {
+      std::string current = assumption.target_class;
+      while (true) {
+        DVM_ASSIGN_OR_RETURN(const ClassFile* cls, Require(current, env));
+        if (cls->FindMethod(assumption.member_name, assumption.descriptor) != nullptr) {
+          stats->dynamic_checks++;
+          return Status::Ok();
+        }
+        std::string parent = cls->super_name();
+        if (parent.empty()) {
+          return LinkErr("method not found: " + assumption.target_class + "." +
+                         assumption.member_name + ":" + assumption.descriptor);
+        }
+        current = parent;
+      }
+    }
+    case AssumptionKind::kAssignable: {
+      DVM_ASSIGN_OR_RETURN(bool ok,
+                           IsSubclassOf(assumption.target_class, assumption.expected_class, env));
+      if (!ok) {
+        return LinkErr(assumption.target_class + " is not assignable to " +
+                       assumption.expected_class);
+      }
+      return Status::Ok();
+    }
+  }
+  return Error{ErrorCode::kInternal, "unknown assumption kind"};
+}
+
+Status CheckAssumptions(const std::vector<Assumption>& assumptions, const ClassEnv& env,
+                        LinkCheckStats* stats) {
+  for (const auto& a : assumptions) {
+    DVM_RETURN_IF_ERROR(CheckAssumption(a, env, stats));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dvm

@@ -1,0 +1,39 @@
+// Phase 4 of verification: link-time namespace checks. Discharges the
+// assumptions recorded by phases 1-3 against a (now complete) class
+// environment. Two callers:
+//   - the monolithic client runs it for every class it loads;
+//   - the DVM client's RTVerifier dynamic component runs it lazily, from the
+//     guard preambles the verification service injected (Figure 3) — "a
+//     descriptor lookup and string comparison".
+#ifndef SRC_VERIFIER_LINK_CHECKER_H_
+#define SRC_VERIFIER_LINK_CHECKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/result.h"
+#include "src/verifier/assumptions.h"
+#include "src/verifier/class_env.h"
+
+namespace dvm {
+
+struct LinkCheckStats {
+  uint64_t dynamic_checks = 0;
+};
+
+// Checks one assumption. kLinkError results map to guest exceptions
+// (NoClassDefFoundError / NoSuchFieldError / NoSuchMethodError analogues).
+Status CheckAssumption(const Assumption& assumption, const ClassEnv& env,
+                       LinkCheckStats* stats);
+
+Status CheckAssumptions(const std::vector<Assumption>& assumptions, const ClassEnv& env,
+                        LinkCheckStats* stats);
+
+// Fully-dynamic assignability used by kAssignable checks and the runtime's
+// checkcast/instanceof: requires every class on the path to be present in env.
+Result<bool> IsSubclassOf(const std::string& sub, const std::string& super,
+                          const ClassEnv& env);
+
+}  // namespace dvm
+
+#endif  // SRC_VERIFIER_LINK_CHECKER_H_

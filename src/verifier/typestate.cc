@@ -1,0 +1,225 @@
+#include "src/verifier/typestate.h"
+
+#include "src/bytecode/descriptor.h"
+
+namespace dvm {
+namespace {
+
+constexpr const char* kObject = "java/lang/Object";
+
+// Ancestor chain of `cls` within env (including cls itself), stopping at the
+// first unknown class. Returns whether the walk ended at an unknown class.
+bool CollectChain(const std::string& cls, const ClassEnv& env, std::vector<std::string>* out) {
+  std::string current = cls;
+  while (true) {
+    out->push_back(current);
+    if (current == kObject) {
+      return false;
+    }
+    const ClassFile* file = env.Lookup(current);
+    if (file == nullptr) {
+      return true;  // hit the edge of the environment
+    }
+    std::string super = file->super_name();
+    if (super.empty()) {
+      return false;
+    }
+    current = super;
+  }
+}
+
+bool ImplementsInterface(const std::string& cls, const std::string& iface, const ClassEnv& env,
+                         bool* hit_unknown) {
+  std::string current = cls;
+  while (true) {
+    const ClassFile* file = env.Lookup(current);
+    if (file == nullptr) {
+      *hit_unknown = true;
+      return false;
+    }
+    for (uint16_t idx : file->interfaces) {
+      auto name = file->pool().ClassNameAt(idx);
+      if (name.ok()) {
+        if (name.value() == iface) {
+          return true;
+        }
+        // One level of interface inheritance is enough for our library shapes;
+        // recurse through the named interface if it is known.
+        bool sub_unknown = false;
+        if (env.IsKnown(name.value()) &&
+            ImplementsInterface(name.value(), iface, env, &sub_unknown)) {
+          return true;
+        }
+        *hit_unknown |= sub_unknown;
+      }
+    }
+    std::string super = file->super_name();
+    if (super.empty()) {
+      return false;
+    }
+    current = super;
+  }
+}
+
+}  // namespace
+
+VType VType::FromDescriptor(const std::string& desc) {
+  if (desc == "I") {
+    return Int();
+  }
+  if (desc == "J") {
+    return Long();
+  }
+  if (!desc.empty() && desc[0] == '[') {
+    return Ref(desc);
+  }
+  if (IsReferenceDescriptor(desc)) {
+    return Ref(ClassNameFromDescriptor(desc));
+  }
+  return Top();
+}
+
+std::string VType::ToString() const {
+  switch (kind) {
+    case Kind::kTop:
+      return "top";
+    case Kind::kInt:
+      return "int";
+    case Kind::kLong:
+      return "long";
+    case Kind::kNull:
+      return "null";
+    case Kind::kRef:
+      return name;
+    case Kind::kUninit:
+      return "uninit<" + name + "@" + std::to_string(site) + ">";
+  }
+  return "?";
+}
+
+Assignability IsAssignable(const VType& src, const std::string& dst_class, const ClassEnv& env) {
+  if (src.kind == VType::Kind::kNull) {
+    return Assignability::kYes;
+  }
+  if (src.kind != VType::Kind::kRef) {
+    return Assignability::kNo;
+  }
+  if (src.name == dst_class || dst_class == kObject) {
+    return Assignability::kYes;
+  }
+  // Arrays: "[X" assignable to "[Y" iff X assignable to Y (reference elements)
+  // or X == Y (primitive elements).
+  if (src.IsArray() || (!dst_class.empty() && dst_class[0] == '[')) {
+    if (!src.IsArray() || dst_class.empty() || dst_class[0] != '[') {
+      return Assignability::kNo;
+    }
+    std::string src_elem = ArrayElementDescriptor(src.name);
+    std::string dst_elem = ArrayElementDescriptor(dst_class);
+    if (src_elem == dst_elem) {
+      return Assignability::kYes;
+    }
+    if (IsReferenceDescriptor(src_elem) && IsReferenceDescriptor(dst_elem) &&
+        src_elem[0] == 'L' && dst_elem[0] == 'L') {
+      return IsAssignable(VType::Ref(ClassNameFromDescriptor(src_elem)),
+                          ClassNameFromDescriptor(dst_elem), env);
+    }
+    return Assignability::kNo;
+  }
+
+  std::vector<std::string> chain;
+  bool hit_unknown = CollectChain(src.name, env, &chain);
+  for (const auto& ancestor : chain) {
+    if (ancestor == dst_class) {
+      return Assignability::kYes;
+    }
+  }
+  // Interface implementation check along the known part of the chain.
+  bool iface_unknown = false;
+  if (env.IsKnown(src.name) &&
+      ImplementsInterface(src.name, dst_class, env, &iface_unknown)) {
+    return Assignability::kYes;
+  }
+  if (hit_unknown || iface_unknown || !env.IsKnown(dst_class)) {
+    return Assignability::kUnknown;
+  }
+  return Assignability::kNo;
+}
+
+VType MergeTypes(const VType& a, const VType& b, const ClassEnv& env) {
+  if (a == b) {
+    return a;
+  }
+  using Kind = VType::Kind;
+  if (a.kind == Kind::kNull && b.kind == Kind::kRef) {
+    return b;
+  }
+  if (b.kind == Kind::kNull && a.kind == Kind::kRef) {
+    return a;
+  }
+  if (a.kind == Kind::kRef && b.kind == Kind::kRef) {
+    if (a.IsArray() || b.IsArray()) {
+      // Array/array or array/class merges generalize to Object unless equal.
+      return VType::Ref(kObject);
+    }
+    // Common ancestor within the known environment; unknown edges widen to Object.
+    std::vector<std::string> chain_a;
+    CollectChain(a.name, env, &chain_a);
+    std::vector<std::string> chain_b;
+    CollectChain(b.name, env, &chain_b);
+    for (const auto& ca : chain_a) {
+      for (const auto& cb : chain_b) {
+        if (ca == cb) {
+          return VType::Ref(ca);
+        }
+      }
+    }
+    return VType::Ref(kObject);
+  }
+  return VType::Top();
+}
+
+std::string Frame::ToString() const {
+  std::string out = "locals=[";
+  for (size_t i = 0; i < locals.size(); i++) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += locals[i].ToString();
+  }
+  out += "] stack=[";
+  for (size_t i = 0; i < stack.size(); i++) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += stack[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+void MergeFrames(Frame& into, const Frame& from, const ClassEnv& env, bool* changed) {
+  *changed = false;
+  // Stack depths must match for code accepted by phase 3; a mismatch surfaces
+  // as Top entries that fail the next use-check.
+  if (into.stack.size() != from.stack.size()) {
+    into.stack.assign(into.stack.size(), VType::Top());
+    *changed = true;
+    return;
+  }
+  for (size_t i = 0; i < into.locals.size(); i++) {
+    VType merged = MergeTypes(into.locals[i], from.locals[i], env);
+    if (!(merged == into.locals[i])) {
+      into.locals[i] = merged;
+      *changed = true;
+    }
+  }
+  for (size_t i = 0; i < into.stack.size(); i++) {
+    VType merged = MergeTypes(into.stack[i], from.stack[i], env);
+    if (!(merged == into.stack[i])) {
+      into.stack[i] = merged;
+      *changed = true;
+    }
+  }
+}
+
+}  // namespace dvm

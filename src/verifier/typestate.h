@@ -1,0 +1,84 @@
+// Verification type lattice and abstract frames for the phase-3 dataflow pass.
+//
+//            Top (unusable / conflict)
+//           /  |   \
+//        Int  Long  Ref(C) ... Ref(Object)
+//                     |
+//                    Null        (bottom of the reference sub-lattice)
+//
+// Uninit(C, site) values are produced by `new` and become Ref(C) when the
+// matching <init> runs; they merge only with themselves.
+#ifndef SRC_VERIFIER_TYPESTATE_H_
+#define SRC_VERIFIER_TYPESTATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/verifier/class_env.h"
+
+namespace dvm {
+
+struct VType {
+  enum class Kind : uint8_t {
+    kTop,     // unknown / conflicting — cannot be used
+    kInt,
+    kLong,
+    kNull,    // null constant, assignable to any reference type
+    kRef,     // reference; `name` is a class name ("foo/Bar") or array descriptor ("[I")
+    kUninit,  // allocated but unconstructed; `name` is the class, `site` the new-index
+  };
+
+  Kind kind = Kind::kTop;
+  std::string name;
+  int site = -1;
+
+  static VType Top() { return {Kind::kTop, "", -1}; }
+  static VType Int() { return {Kind::kInt, "", -1}; }
+  static VType Long() { return {Kind::kLong, "", -1}; }
+  static VType Null() { return {Kind::kNull, "", -1}; }
+  static VType Ref(std::string class_or_array) {
+    return {Kind::kRef, std::move(class_or_array), -1};
+  }
+  static VType Uninit(std::string class_name, int new_site) {
+    return {Kind::kUninit, std::move(class_name), new_site};
+  }
+  // VType for a field/param descriptor ("I", "J", "Lfoo/Bar;", "[I").
+  static VType FromDescriptor(const std::string& desc);
+
+  bool IsRefLike() const { return kind == Kind::kRef || kind == Kind::kNull; }
+  bool IsArray() const { return kind == Kind::kRef && !name.empty() && name[0] == '['; }
+  bool operator==(const VType& other) const = default;
+
+  std::string ToString() const;
+};
+
+// Result of an assignability query against a partial environment.
+enum class Assignability {
+  kYes,      // provable in the environment
+  kNo,       // provably wrong — verification error
+  kUnknown,  // involves a class the environment has not seen — record assumption
+};
+
+// Walks superclass chains in `env`. Interfaces are treated as assignable
+// targets when found in the chain's interface lists.
+Assignability IsAssignable(const VType& src, const std::string& dst_class, const ClassEnv& env);
+
+// Least upper bound of two reference types in `env`; unknown hierarchy merges
+// to java/lang/Object (safe: uses are re-checked by IsAssignable).
+VType MergeTypes(const VType& a, const VType& b, const ClassEnv& env);
+
+// Abstract machine state at one instruction.
+struct Frame {
+  std::vector<VType> locals;
+  std::vector<VType> stack;
+
+  bool operator==(const Frame& other) const = default;
+  std::string ToString() const;
+};
+
+// Pointwise merge. Sets *changed when the result differs from `into`.
+void MergeFrames(Frame& into, const Frame& from, const ClassEnv& env, bool* changed);
+
+}  // namespace dvm
+
+#endif  // SRC_VERIFIER_TYPESTATE_H_

@@ -1,0 +1,85 @@
+#include "src/workloads/applets.h"
+
+#include <algorithm>
+
+#include "src/bytecode/builder.h"
+#include "src/support/rng.h"
+
+namespace dvm {
+namespace {
+
+constexpr uint16_t kPubStatic = AccessFlags::kPublic | AccessFlags::kStatic;
+
+ClassFile Must(Result<ClassFile> r) {
+  if (!r.ok()) {
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+void EmitPad(MethodBuilder& m, int instructions, int seed) {
+  m.LoadLocal("I", 0).StoreLocal("I", 1);
+  int emitted = 0;
+  int value = seed;
+  while (emitted < instructions) {
+    value = value * 1103515245 + 12345;
+    m.LoadLocal("I", 1).PushInt((value >> 16) & 0x7F).Emit(Op::kIadd).StoreLocal("I", 1);
+    emitted += 4;
+  }
+  m.LoadLocal("I", 1).Emit(Op::kIreturn);
+}
+
+}  // namespace
+
+std::vector<AppBundle> BuildAppletPopulation(int count, uint64_t seed, double mean_bytes,
+                                             double stddev_bytes) {
+  Rng rng(seed);
+  std::vector<AppBundle> applets;
+  applets.reserve(static_cast<size_t>(count));
+
+  for (int a = 0; a < count; a++) {
+    double size = rng.NextLognormal(mean_bytes, stddev_bytes);
+    size = std::clamp(size, 2'000.0, 400'000.0);
+    int class_count = 1 + static_cast<int>(rng.Uniform(4));
+    // ~1.5 bytes per straight-line instruction; reserve some for structure.
+    int pad_per_class = static_cast<int>(size / class_count / 1.6);
+
+    AppBundle bundle;
+    bundle.name = "applet" + std::to_string(a);
+    bundle.description = "synthetic Internet applet";
+    std::string base = "applet/a" + std::to_string(a);
+    bundle.main_class = base + "/Main";
+
+    ClassBuilder main_cb(bundle.main_class, "java/lang/Object");
+    MethodBuilder& m = main_cb.AddMethod(kPubStatic, "main", "()V");
+    m.PushInt(16);
+    for (int c = 0; c < class_count; c++) {
+      m.InvokeStatic(base + "/Part" + std::to_string(c), "work", "(I)I");
+      // Keep the chained argument bounded: the result feeds the next loop.
+      m.PushInt(15).Emit(Op::kIand).PushInt(1).Emit(Op::kIadd);
+    }
+    m.Emit(Op::kPop).Emit(Op::kReturn);
+    EmitPad(main_cb.AddMethod(kPubStatic, "bulk", "(I)I"), pad_per_class,
+            static_cast<int>(seed) + a);
+    bundle.classes.push_back(Must(main_cb.Build()));
+
+    for (int c = 0; c < class_count; c++) {
+      ClassBuilder cb(base + "/Part" + std::to_string(c), "java/lang/Object");
+      MethodBuilder& work = cb.AddMethod(kPubStatic, "work", "(I)I");
+      Label loop = work.NewLabel(), done = work.NewLabel();
+      work.PushInt(c + 3).StoreLocal("I", 1).PushInt(0).StoreLocal("I", 2);
+      work.Bind(loop);
+      work.LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, done);
+      work.LoadLocal("I", 1).PushInt(17).Emit(Op::kImul).LoadLocal("I", 2).Emit(Op::kIadd)
+          .StoreLocal("I", 1);
+      work.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
+      work.Bind(done).LoadLocal("I", 1).Emit(Op::kIreturn);
+      EmitPad(cb.AddMethod(kPubStatic, "bulk", "(I)I"), pad_per_class, a * 31 + c);
+      bundle.classes.push_back(Must(cb.Build()));
+    }
+    applets.push_back(std::move(bundle));
+  }
+  return applets;
+}
+
+}  // namespace dvm

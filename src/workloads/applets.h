@@ -1,0 +1,19 @@
+// Synthetic Internet applet population, standing in for the 100 applets the
+// paper sampled from the AltaVista index (section 4.1.2). Sizes follow a
+// heavy-tailed lognormal; each applet is a small runnable bundle of 1-4
+// classes. Used by the proxy-latency experiment and the Figure 10 scaling run.
+#ifndef SRC_WORKLOADS_APPLETS_H_
+#define SRC_WORKLOADS_APPLETS_H_
+
+#include "src/workloads/apps.h"
+
+namespace dvm {
+
+// Deterministic for a given seed. mean/σ in bytes of the whole applet bundle.
+std::vector<AppBundle> BuildAppletPopulation(int count, uint64_t seed,
+                                             double mean_bytes = 60'000.0,
+                                             double stddev_bytes = 45'000.0);
+
+}  // namespace dvm
+
+#endif  // SRC_WORKLOADS_APPLETS_H_

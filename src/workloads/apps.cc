@@ -1,0 +1,330 @@
+#include "src/workloads/apps.h"
+
+#include "src/bytecode/builder.h"
+#include "src/bytecode/serializer.h"
+
+namespace dvm {
+namespace {
+
+constexpr uint16_t kPubStatic = AccessFlags::kPublic | AccessFlags::kStatic;
+
+std::string ModuleName(const std::string& tag, int index) {
+  return "app/" + tag + "/M" + std::to_string(index);
+}
+
+ClassFile Must(Result<ClassFile> r) {
+  if (!r.ok()) {
+    std::abort();  // generators are driven by constants; failure is a bug
+  }
+  return std::move(r).value();
+}
+
+// --- kernel emitters -----------------------------------------------------------
+
+// int step(int n): multiplicative hash loop (lexer-table flavour).
+void EmitStepKernel(MethodBuilder& m, int seed) {
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.PushInt(seed).StoreLocal("I", 1);           // a = seed
+  m.PushInt(0).StoreLocal("I", 2);              // i = 0
+  m.Bind(loop);
+  m.LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, done);
+  m.LoadLocal("I", 1).PushInt(31).Emit(Op::kImul).LoadLocal("I", 2).Emit(Op::kIadd);
+  m.StoreLocal("I", 1);
+  m.LoadLocal("I", 1).LoadLocal("I", 1).PushInt(3).Emit(Op::kIshr).Emit(Op::kIxor);
+  m.StoreLocal("I", 1);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).LoadLocal("I", 1).Emit(Op::kIreturn);
+}
+
+// int table(int n): transition-table fill + reduction (parser-fixpoint flavour).
+void EmitTableKernel(MethodBuilder& m) {
+  Label fill = m.NewLabel(), fill_done = m.NewLabel();
+  Label sum = m.NewLabel(), sum_done = m.NewLabel();
+  m.PushInt(64).Emit(Op::kNewarray, static_cast<int>(ArrayKind::kInt)).StoreLocal("[I", 1);
+  m.PushInt(0).StoreLocal("I", 2);
+  m.Bind(fill);
+  m.LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, fill_done);
+  m.LoadLocal("[I", 1).LoadLocal("I", 2).PushInt(63).Emit(Op::kIand);
+  m.LoadLocal("[I", 1).LoadLocal("I", 2).PushInt(7).Emit(Op::kImul).PushInt(63)
+      .Emit(Op::kIand).Emit(Op::kIaload);
+  m.LoadLocal("I", 2).Emit(Op::kIadd).Emit(Op::kIastore);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, fill);
+  m.Bind(fill_done);
+  m.PushInt(0).StoreLocal("I", 3).PushInt(0).StoreLocal("I", 2);
+  m.Bind(sum);
+  m.LoadLocal("I", 2).PushInt(64).Branch(Op::kIfIcmpge, sum_done);
+  m.LoadLocal("I", 3).LoadLocal("[I", 1).LoadLocal("I", 2).Emit(Op::kIaload)
+      .Emit(Op::kIadd).StoreLocal("I", 3);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, sum);
+  m.Bind(sum_done).LoadLocal("I", 3).Emit(Op::kIreturn);
+}
+
+// int objwork(int n): allocate an instance, mix field-free arithmetic with
+// periodic virtual calls (real Java code averages tens of instructions per
+// invocation; a call every iteration would be pathologically call-dense).
+void EmitObjKernel(MethodBuilder& m, const std::string& cls) {
+  Label arith = m.NewLabel(), arith_done = m.NewLabel();
+  Label calls = m.NewLabel(), calls_done = m.NewLabel();
+  m.New(cls).Emit(Op::kDup).InvokeSpecial(cls, "<init>", "()V");
+  m.StoreLocal("L" + cls + ";", 1);
+  // Arithmetic phase: n iterations on a local accumulator.
+  m.PushInt(1).StoreLocal("I", 2);
+  m.PushInt(0).StoreLocal("I", 3);
+  m.Bind(arith);
+  m.LoadLocal("I", 3).LoadLocal("I", 0).Branch(Op::kIfIcmpge, arith_done);
+  m.LoadLocal("I", 2).PushInt(17).Emit(Op::kImul).LoadLocal("I", 3).Emit(Op::kIadd)
+      .StoreLocal("I", 2);
+  m.Emit(Op::kIinc, 3, 1).Branch(Op::kGoto, arith);
+  m.Bind(arith_done);
+  // Call phase: n/8 virtual calls through the accessor.
+  m.LoadLocal("I", 0).PushInt(3).Emit(Op::kIshr).StoreLocal("I", 3);
+  m.Bind(calls);
+  m.LoadLocal("I", 3).Branch(Op::kIfle, calls_done);
+  m.LoadLocal("L" + cls + ";", 1).LoadLocal("I", 3).InvokeVirtual(cls, "bump", "(I)I");
+  m.Emit(Op::kPop);
+  m.Emit(Op::kIinc, 3, -1).Branch(Op::kGoto, calls);
+  m.Bind(calls_done);
+  m.LoadLocal("L" + cls + ";", 1).LoadLocal("I", 2).PushInt(255).Emit(Op::kIand)
+      .InvokeVirtual(cls, "bump", "(I)I");
+  m.Emit(Op::kIreturn);
+}
+
+// long ledger(int n): 64-bit keyed-update loop (TPC-A flavour).
+void EmitLedgerKernel(MethodBuilder& m) {
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.PushLong(1).StoreLocal("J", 1);
+  m.PushInt(0).StoreLocal("I", 2);
+  m.Bind(loop);
+  m.LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, done);
+  m.LoadLocal("J", 1).PushLong(6364136223846793005LL).Emit(Op::kLmul);
+  m.LoadLocal("I", 2).Emit(Op::kI2l).Emit(Op::kLadd).StoreLocal("J", 1);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).LoadLocal("J", 1).Emit(Op::kLreturn);
+}
+
+// int strwork(int n): bounded string building (codegen flavour).
+void EmitStringKernel(MethodBuilder& m) {
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.PushString("x").StoreLocal("Ljava/lang/String;", 1);
+  m.LoadLocal("I", 0).PushInt(7).Emit(Op::kIand).PushInt(1).Emit(Op::kIadd)
+      .StoreLocal("I", 2);
+  m.Bind(loop);
+  m.LoadLocal("I", 2).Branch(Op::kIfle, done);
+  m.LoadLocal("Ljava/lang/String;", 1).PushString("ab");
+  m.InvokeVirtual("java/lang/String", "concat", "(Ljava/lang/String;)Ljava/lang/String;");
+  m.StoreLocal("Ljava/lang/String;", 1);
+  m.Emit(Op::kIinc, 2, -1).Branch(Op::kGoto, loop);
+  m.Bind(done);
+  m.LoadLocal("Ljava/lang/String;", 1).InvokeVirtual("java/lang/String", "length", "()I");
+  m.Emit(Op::kIreturn);
+}
+
+// Straight-line padding: realistic-looking never-invoked code that inflates
+// the class to its Figure 5 wire size (the 10-30% unused fraction of mobile
+// code that section 5 measures).
+void EmitPadMethod(MethodBuilder& m, int instructions, int seed) {
+  m.LoadLocal("I", 0).StoreLocal("I", 1);
+  int emitted = 0;
+  int value = seed;
+  while (emitted < instructions) {
+    value = value * 1103515245 + 12345;
+    m.LoadLocal("I", 1).PushInt((value >> 16) & 0x7F).Emit(Op::kIadd).StoreLocal("I", 1);
+    emitted += 4;
+  }
+  m.LoadLocal("I", 1).Emit(Op::kIreturn);
+}
+
+ClassFile BuildModule(const AppSpec& spec, int index) {
+  const std::string name = ModuleName(spec.name, index);
+  ClassBuilder cb(name, "java/lang/Object");
+  cb.AddField(AccessFlags::kPublic, "acc", "I");
+  cb.AddField(kPubStatic, "total", "I");
+  cb.AddDefaultConstructor();
+
+  // int bump(int x) { acc += x; return acc; }
+  MethodBuilder& bump = cb.AddMethod(AccessFlags::kPublic, "bump", "(I)I");
+  bump.Emit(Op::kAload, 0).Emit(Op::kDup).GetField(name, "acc", "I");
+  bump.Emit(Op::kIload, 1).Emit(Op::kIadd).PutField(name, "acc", "I");
+  bump.Emit(Op::kAload, 0).GetField(name, "acc", "I").Emit(Op::kIreturn);
+
+  EmitStepKernel(cb.AddMethod(kPubStatic, "step", "(I)I"), index * 2654435761 + 17);
+  if (spec.use_arrays) {
+    EmitTableKernel(cb.AddMethod(kPubStatic, "table", "(I)I"));
+  }
+  if (spec.use_objects) {
+    EmitObjKernel(cb.AddMethod(kPubStatic, "objwork", "(I)I"), name);
+  }
+  if (spec.use_longs) {
+    EmitLedgerKernel(cb.AddMethod(kPubStatic, "ledger", "(I)J"));
+  }
+  if (spec.use_strings) {
+    EmitStringKernel(cb.AddMethod(kPubStatic, "strwork", "(I)I"));
+  }
+
+  // int run(int n): own kernels, then the next module in the chain.
+  MethodBuilder& run = cb.AddMethod(kPubStatic, "run", "(I)I");
+  run.LoadLocal("I", 0).InvokeStatic(name, "step", "(I)I").StoreLocal("I", 1);
+  if (spec.use_arrays) {
+    run.LoadLocal("I", 1).LoadLocal("I", 0).InvokeStatic(name, "table", "(I)I")
+        .Emit(Op::kIadd).StoreLocal("I", 1);
+  }
+  if (spec.use_objects) {
+    run.LoadLocal("I", 1).LoadLocal("I", 0).InvokeStatic(name, "objwork", "(I)I")
+        .Emit(Op::kIadd).StoreLocal("I", 1);
+  }
+  if (spec.use_longs) {
+    run.LoadLocal("I", 1).LoadLocal("I", 0).InvokeStatic(name, "ledger", "(I)J")
+        .Emit(Op::kL2i).Emit(Op::kIadd).StoreLocal("I", 1);
+  }
+  if (spec.use_strings) {
+    run.LoadLocal("I", 1).LoadLocal("I", 0).InvokeStatic(name, "strwork", "(I)I")
+        .Emit(Op::kIadd).StoreLocal("I", 1);
+  }
+  if (index + 1 < spec.module_count) {
+    run.LoadLocal("I", 1).LoadLocal("I", 0)
+        .InvokeStatic(ModuleName(spec.name, index + 1), "run", "(I)I")
+        .Emit(Op::kIadd).StoreLocal("I", 1);
+  }
+  run.GetStatic(name, "total", "I").LoadLocal("I", 1).Emit(Op::kIadd)
+      .PutStatic(name, "total", "I");
+  run.LoadLocal("I", 1).Emit(Op::kIreturn);
+
+  for (int p = 0; p < spec.pad_methods; p++) {
+    EmitPadMethod(cb.AddMethod(kPubStatic, "pad" + std::to_string(p), "(I)I"),
+                  spec.pad_instructions, index * 31 + p);
+  }
+  return Must(cb.Build());
+}
+
+ClassFile BuildMainClass(const AppSpec& spec) {
+  ClassBuilder cb("app/" + spec.name + "/Main", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(kPubStatic, "main", "()V");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.PushInt(0).StoreLocal("I", 0);  // acc
+  m.PushInt(0).StoreLocal("I", 1);  // round
+  m.Bind(loop);
+  m.LoadLocal("I", 1).PushInt(spec.rounds).Branch(Op::kIfIcmpge, done);
+  m.LoadLocal("I", 0).PushInt(spec.work)
+      .InvokeStatic(ModuleName(spec.name, 0), "run", "(I)I").Emit(Op::kIxor)
+      .StoreLocal("I", 0);
+  m.Emit(Op::kIinc, 1, 1).Branch(Op::kGoto, loop);
+  m.Bind(done);
+  m.LoadLocal("I", 0).InvokeStatic("java/lang/Integer", "toString", "(I)Ljava/lang/String;");
+  m.InvokeStatic("java/lang/System", "println", "(Ljava/lang/String;)V");
+  m.Emit(Op::kReturn);
+  return Must(cb.Build());
+}
+
+}  // namespace
+
+uint64_t AppBundle::TotalBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& cls : classes) {
+    bytes += WriteClassFile(cls).size();
+  }
+  return bytes;
+}
+
+void AppBundle::InstallInto(MapClassProvider* provider) const {
+  for (const auto& cls : classes) {
+    provider->AddClassFile(cls);
+  }
+}
+
+std::vector<std::string> AppBundle::ClassNames() const {
+  std::vector<std::string> names;
+  names.reserve(classes.size());
+  for (const auto& cls : classes) {
+    names.push_back(cls.name());
+  }
+  return names;
+}
+
+AppBundle GenerateApp(const AppSpec& spec) {
+  AppBundle bundle;
+  bundle.name = spec.name;
+  bundle.description = spec.description;
+  bundle.main_class = "app/" + spec.name + "/Main";
+  bundle.classes.push_back(BuildMainClass(spec));
+  for (int i = 0; i < spec.module_count; i++) {
+    bundle.classes.push_back(BuildModule(spec, i));
+  }
+  return bundle;
+}
+
+AppBundle BuildJlexApp(int work_scale) {
+  AppSpec spec;
+  spec.name = "jlex";
+  spec.description = "Lexical analyzer generator";
+  spec.module_count = 19;  // + Main = 20 classes (Figure 5)
+  spec.rounds = 2 * work_scale;
+  spec.work = 1200;
+  spec.pad_methods = 5;
+  spec.pad_instructions = 400;
+  spec.use_longs = false;
+  spec.use_strings = false;
+  return GenerateApp(spec);
+}
+
+AppBundle BuildJavacupApp(int work_scale) {
+  AppSpec spec;
+  spec.name = "javacup";
+  spec.description = "LALR parser generator";
+  spec.module_count = 34;  // + Main = 35
+  spec.rounds = 2 * work_scale;
+  spec.work = 1300;
+  spec.pad_methods = 5;
+  spec.pad_instructions = 310;
+  spec.use_strings = true;
+  return GenerateApp(spec);
+}
+
+AppBundle BuildPizzaApp(int work_scale) {
+  AppSpec spec;
+  spec.name = "pizza";
+  spec.description = "Bytecode to native compiler";
+  spec.module_count = 240;  // + Main = 241
+  spec.rounds = 2 * work_scale;
+  spec.work = 1100;
+  spec.pad_methods = 5;
+  spec.pad_instructions = 260;
+  spec.use_strings = true;
+  return GenerateApp(spec);
+}
+
+AppBundle BuildInstantdbApp(int work_scale) {
+  AppSpec spec;
+  spec.name = "instantdb";
+  spec.description = "Relational database with a TPC-A like workload";
+  spec.module_count = 69;  // + Main = 70
+  spec.rounds = 4 * work_scale;
+  spec.work = 1500;
+  spec.pad_methods = 6;
+  spec.pad_instructions = 330;
+  spec.use_longs = true;
+  return GenerateApp(spec);
+}
+
+AppBundle BuildCassowaryApp(int work_scale) {
+  AppSpec spec;
+  spec.name = "cassowary";
+  spec.description = "Constraint satisfier";
+  spec.module_count = 33;  // + Main = 34
+  spec.rounds = 4 * work_scale;
+  spec.work = 1400;
+  spec.pad_methods = 3;
+  spec.pad_instructions = 330;
+  return GenerateApp(spec);
+}
+
+std::vector<AppBundle> BuildFig5Apps(int work_scale) {
+  std::vector<AppBundle> apps;
+  apps.push_back(BuildJlexApp(work_scale));
+  apps.push_back(BuildJavacupApp(work_scale));
+  apps.push_back(BuildPizzaApp(work_scale));
+  apps.push_back(BuildInstantdbApp(work_scale));
+  apps.push_back(BuildCassowaryApp(work_scale));
+  return apps;
+}
+
+}  // namespace dvm

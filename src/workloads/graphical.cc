@@ -1,0 +1,124 @@
+#include "src/workloads/graphical.h"
+
+#include "src/bytecode/builder.h"
+
+namespace dvm {
+namespace {
+
+constexpr uint16_t kPubStatic = AccessFlags::kPublic | AccessFlags::kStatic;
+
+ClassFile Must(Result<ClassFile> r) {
+  if (!r.ok()) {
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+void EmitStraightLine(MethodBuilder& m, int instructions, int seed) {
+  m.LoadLocal("I", 0).StoreLocal("I", 1);
+  int emitted = 0;
+  int value = seed;
+  while (emitted < instructions) {
+    value = value * 1103515245 + 12345;
+    m.LoadLocal("I", 1).PushInt((value >> 16) & 0x7F).Emit(Op::kIadd).StoreLocal("I", 1);
+    emitted += 4;
+  }
+  m.LoadLocal("I", 1).Emit(Op::kIreturn);
+}
+
+std::string UiModule(const std::string& tag, int index) {
+  return "ui/" + tag + "/C" + std::to_string(index);
+}
+
+ClassFile BuildUiClass(const GraphicalAppSpec& spec, int index) {
+  const std::string name = UiModule(spec.name, index);
+  ClassBuilder cb(name, "java/lang/Object");
+  cb.AddDefaultConstructor();
+
+  // Startup path: a small loop plus some straight-line setup code, then the
+  // next class in the chain.
+  MethodBuilder& init = cb.AddMethod(kPubStatic, "init", "(I)I");
+  Label loop = init.NewLabel(), done = init.NewLabel();
+  init.PushInt(index + 1).StoreLocal("I", 1);
+  init.PushInt(0).StoreLocal("I", 2);
+  init.Bind(loop);
+  init.LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, done);
+  init.LoadLocal("I", 1).PushInt(29).Emit(Op::kImul).LoadLocal("I", 2).Emit(Op::kIxor)
+      .StoreLocal("I", 1);
+  init.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
+  init.Bind(done);
+  int filler = spec.hot_instructions;
+  int value = index * 977;
+  while (filler > 0) {
+    value = value * 1103515245 + 12345;
+    init.LoadLocal("I", 1).PushInt((value >> 16) & 0x3F).Emit(Op::kIadd).StoreLocal("I", 1);
+    filler -= 4;
+  }
+  // Chain to the next startup class so lazy loading touches every class.
+  // (This is what makes the whole bundle part of the startup transfer.)
+  // Last class ends the chain.
+  if (index + 1 < spec.class_count) {
+    init.LoadLocal("I", 1).LoadLocal("I", 0)
+        .InvokeStatic(UiModule(spec.name, index + 1), "init", "(I)I").Emit(Op::kIadd)
+        .StoreLocal("I", 1);
+  }
+  init.LoadLocal("I", 1).Emit(Op::kIreturn);
+
+  // Cold surface: rendering/print/preferences code not touched at startup.
+  for (int c = 0; c < spec.cold_methods; c++) {
+    EmitStraightLine(cb.AddMethod(kPubStatic, "render" + std::to_string(c), "(I)I"),
+                     spec.cold_instructions / spec.cold_methods, index * 31 + c);
+  }
+  return Must(cb.Build());
+}
+
+ClassFile BuildUiMain(const GraphicalAppSpec& spec) {
+  ClassBuilder cb("ui/" + spec.name + "/Main", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(kPubStatic, "main", "()V");
+  m.PushInt(spec.init_work).InvokeStatic(UiModule(spec.name, 0), "init", "(I)I");
+  m.InvokeStatic("java/lang/Integer", "toString", "(I)Ljava/lang/String;");
+  m.InvokeStatic("java/lang/System", "println", "(Ljava/lang/String;)V");
+  m.Emit(Op::kReturn);
+  return Must(cb.Build());
+}
+
+}  // namespace
+
+AppBundle GenerateGraphicalApp(const GraphicalAppSpec& spec) {
+  AppBundle bundle;
+  bundle.name = spec.name;
+  bundle.description = "graphical application startup bundle";
+  bundle.main_class = "ui/" + spec.name + "/Main";
+  bundle.classes.push_back(BuildUiMain(spec));
+  for (int i = 0; i < spec.class_count; i++) {
+    bundle.classes.push_back(BuildUiClass(spec, i));
+  }
+  return bundle;
+}
+
+std::vector<GraphicalAppSpec> GraphicalAppSpecs() {
+  // Sizes/shapes follow the 1999 suite: WorkShop and Studio are development
+  // environments of a couple of MB; Animated UI is a small applet-style app.
+  // cold_instructions / (hot + cold) sets each app's repartitioning headroom.
+  // Cold fractions span the 10-30% of downloaded-but-never-invoked code the
+  // paper measured; sizes span development-environment (MB-ish) down to small
+  // applet-style applications.
+  std::vector<GraphicalAppSpec> specs(6);
+  specs[0] = {"workshop", 180, 48, 1340, 660, 4};
+  specs[1] = {"studio", 150, 44, 1340, 580, 4};
+  specs[2] = {"hotjava", 120, 40, 1440, 530, 3};
+  specs[3] = {"netcharts", 68, 36, 1440, 410, 3};
+  specs[4] = {"cq", 44, 32, 1540, 320, 2};
+  specs[5] = {"animatedui", 24, 28, 1630, 200, 2};
+  return specs;
+}
+
+std::vector<AppBundle> BuildGraphicalApps() {
+  std::vector<AppBundle> apps;
+  for (const auto& spec : GraphicalAppSpecs()) {
+    apps.push_back(GenerateGraphicalApp(spec));
+  }
+  return apps;
+}
+
+}  // namespace dvm

@@ -1,0 +1,34 @@
+// The six graphical applications of Figures 11/12 (Java WorkShop, Java
+// Studio, HotJava, NetCharts, CQ, Animated UI). What matters for the startup
+// experiments is their transfer shape: total code size, the number of classes
+// touched during startup, and the fraction of each class's code that startup
+// never executes (the repartitioning opportunity). Each generated bundle is a
+// runnable program whose main() performs exactly the startup phase: it touches
+// every class's init path and returns when the application could begin
+// processing user requests.
+#ifndef SRC_WORKLOADS_GRAPHICAL_H_
+#define SRC_WORKLOADS_GRAPHICAL_H_
+
+#include "src/workloads/apps.h"
+
+namespace dvm {
+
+struct GraphicalAppSpec {
+  std::string name;
+  int class_count = 10;
+  int init_work = 40;        // per-class startup computation
+  int hot_instructions = 260;   // startup-path code per class (approx bytes/1.5)
+  int cold_instructions = 900;  // never-executed code per class
+  int cold_methods = 3;
+};
+
+AppBundle GenerateGraphicalApp(const GraphicalAppSpec& spec);
+
+// The Figure 11 suite, largest to smallest.
+std::vector<AppBundle> BuildGraphicalApps();
+// Specs, exposed so benchmarks can report per-app cold fractions.
+std::vector<GraphicalAppSpec> GraphicalAppSpecs();
+
+}  // namespace dvm
+
+#endif  // SRC_WORKLOADS_GRAPHICAL_H_

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/bytecode/assembler.h"
+#include "src/bytecode/builder.h"
+#include "src/runtime/machine.h"
+#include "src/runtime/syslib.h"
+#include "src/verifier/verifier.h"
+#include "src/workloads/apps.h"
+
+namespace dvm {
+namespace {
+
+const char* kFibAsm = R"(
+; iterative fibonacci
+.class asm/Fib extends java/lang/Object flags public
+.method fib (I)I flags public static
+  iconst_0
+  istore 1
+  iconst_1
+  istore 2
+loop:
+  iload 0
+  ifle done
+  iload 1
+  iload 2
+  iadd
+  istore 3
+  iload 2
+  istore 1
+  iload 3
+  istore 2
+  iinc 0 -1
+  goto loop
+done:
+  iload 1
+  ireturn
+.end
+)";
+
+CallOutcome RunClass(const ClassFile& cls, const std::string& method,
+                     const std::string& desc, std::vector<Value> args) {
+  MapClassProvider provider;
+  InstallSystemLibrary(provider);
+  provider.AddClassFile(cls);
+  Machine machine({}, &provider);
+  auto out = machine.CallStatic(cls.name(), method, desc, std::move(args));
+  EXPECT_TRUE(out.ok()) << (out.ok() ? "" : out.error().ToString());
+  return out.ok() ? out.value() : CallOutcome{};
+}
+
+TEST(AssemblerTest, AssemblesAndRunsFibonacci) {
+  auto cls = AssembleText(kFibAsm);
+  ASSERT_TRUE(cls.ok()) << cls.error().ToString();
+  EXPECT_EQ(cls->name(), "asm/Fib");
+  CallOutcome out = RunClass(*cls, "fib", "(I)I", {Value::Int(10)});
+  EXPECT_FALSE(out.threw);
+  EXPECT_EQ(out.value.AsInt(), 55);
+}
+
+TEST(AssemblerTest, HandlesStringsFieldsAndInvokes) {
+  auto cls = AssembleText(R"(
+.class asm/Greeter extends java/lang/Object
+.field greeting Ljava/lang/String; flags public static
+.method main ()V flags public static
+  ldc "hi \"there\"\n"
+  putstatic asm/Greeter greeting Ljava/lang/String;
+  getstatic asm/Greeter greeting Ljava/lang/String;
+  invokestatic java/lang/System println (Ljava/lang/String;)V
+  return
+.end
+)");
+  ASSERT_TRUE(cls.ok()) << cls.error().ToString();
+  MapClassProvider provider;
+  InstallSystemLibrary(provider);
+  provider.AddClassFile(*cls);
+  Machine machine({}, &provider);
+  auto out = machine.RunMain("asm/Greeter");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->threw);
+  ASSERT_EQ(machine.printed().size(), 1u);
+  EXPECT_EQ(machine.printed()[0], "hi \"there\"\n");
+}
+
+TEST(AssemblerTest, HandlesExceptionHandlers) {
+  auto cls = AssembleText(R"(
+.class asm/Catcher extends java/lang/Object
+.method f (I)I flags public static
+try_start:
+  bipush 100
+  iload 0
+  idiv
+  ireturn
+try_end:
+handler:
+  pop
+  bipush -1
+  ireturn
+.handler try_start try_end handler java/lang/ArithmeticException
+.end
+)");
+  ASSERT_TRUE(cls.ok()) << cls.error().ToString();
+  EXPECT_EQ(RunClass(*cls, "f", "(I)I", {Value::Int(4)}).value.AsInt(), 25);
+  EXPECT_EQ(RunClass(*cls, "f", "(I)I", {Value::Int(0)}).value.AsInt(), -1);
+}
+
+TEST(AssemblerTest, HandlesLongsArraysAndNatives) {
+  auto cls = AssembleText(R"(
+.class asm/Mixed extends java/lang/Object
+.method now ()J flags public static native
+.end
+.method sum ()J flags public static
+  bipush 3
+  newarray long
+  astore 0
+  aload 0
+  iconst_0
+  ldc 5000000000L
+  lastore
+  aload 0
+  iconst_0
+  laload
+  lreturn
+.end
+)");
+  ASSERT_TRUE(cls.ok()) << cls.error().ToString();
+  EXPECT_TRUE(cls->FindMethod("now", "()J")->IsNative());
+  CallOutcome out = RunClass(*cls, "sum", "()J", {});
+  EXPECT_EQ(out.value.AsLong(), 5'000'000'000LL);
+}
+
+TEST(AssemblerTest, RejectsMalformedInput) {
+  EXPECT_FALSE(AssembleText("iload 0\n").ok());                       // before .class
+  EXPECT_FALSE(AssembleText(".class a/B\n.method f ()V\n").ok());     // missing .end
+  EXPECT_FALSE(AssembleText(".class a/B\n.method f ()V\n  frobnicate\n.end\n").ok());
+  EXPECT_FALSE(AssembleText(".class a/B\n.method f ()V\n  goto nowhere\n  return\n.end\n")
+                   .ok());                                            // unbound label
+  EXPECT_FALSE(AssembleText(".class a/B\n.field x Q\n").ok());        // bad descriptor
+  EXPECT_FALSE(AssembleText(".class a/B\n.method f ()V flags sparkly\n.end\n").ok());
+  EXPECT_FALSE(AssembleText(".class a/B\n.method f ()V\n  ldc \"unterminated\n.end\n")
+                   .ok());
+  EXPECT_FALSE(AssembleText("").ok());                                // no class at all
+}
+
+TEST(AssemblerTest, TextRoundTripPreservesSemantics) {
+  auto original = AssembleText(kFibAsm);
+  ASSERT_TRUE(original.ok());
+  std::string emitted = ToAssembly(*original);
+  auto again = AssembleText(emitted);
+  ASSERT_TRUE(again.ok()) << again.error().ToString() << "\n" << emitted;
+  EXPECT_EQ(RunClass(*again, "fib", "(I)I", {Value::Int(10)}).value.AsInt(), 55);
+  // Second emission is a fixed point.
+  EXPECT_EQ(ToAssembly(*again), emitted);
+}
+
+TEST(AssemblerTest, RoundTripsGeneratedWorkloadClasses) {
+  // The generated applications exercise every operand form; each class must
+  // survive class -> text -> class and still verify.
+  std::vector<ClassFile> library = BuildSystemLibrary();
+  AppBundle app = BuildCassowaryApp(1);
+  MapClassEnv env;
+  for (const auto& cls : library) {
+    env.Add(&cls);
+  }
+  for (const auto& cls : app.classes) {
+    env.Add(&cls);
+  }
+  int round_tripped = 0;
+  for (const auto& cls : app.classes) {
+    std::string text = ToAssembly(cls);
+    auto back = AssembleText(text);
+    ASSERT_TRUE(back.ok()) << cls.name() << ": " << back.error().ToString();
+    EXPECT_EQ(back->name(), cls.name());
+    EXPECT_EQ(back->methods.size(), cls.methods.size());
+    auto verified = VerifyClass(*back, env);
+    EXPECT_TRUE(verified.ok()) << cls.name() << ": "
+                               << (verified.ok() ? "" : verified.error().ToString());
+    round_tripped++;
+  }
+  EXPECT_EQ(round_tripped, 34);
+}
+
+TEST(AssemblerTest, RoundTripsSystemLibrary) {
+  for (const ClassFile& cls : BuildSystemLibrary()) {
+    std::string text = ToAssembly(cls);
+    auto back = AssembleText(text);
+    ASSERT_TRUE(back.ok()) << cls.name() << ": " << back.error().ToString();
+    EXPECT_EQ(back->name(), cls.name());
+    EXPECT_EQ(back->fields.size(), cls.fields.size());
+    EXPECT_EQ(back->methods.size(), cls.methods.size());
+  }
+}
+
+}  // namespace
+}  // namespace dvm

@@ -1,0 +1,174 @@
+// Differential testing of the factored verifier, in the spirit of the paper's
+// automated verifier testing ([Sirer & Bershad 99], production grammars):
+//
+//   For randomly generated programs with randomly matching or mismatching
+//   cross-class references, the SPLIT verification path (static phases 1-3 on
+//   a proxy that has NOT seen the referenced class + injected dynamic checks
+//   executed on the client) must accept exactly the programs that FULL
+//   verification (all classes visible) accepts.
+//
+// This is the correctness core of the whole architecture: distributing the
+// verifier must not weaken or strengthen the safety guarantee.
+#include <gtest/gtest.h>
+
+#include "src/bytecode/builder.h"
+#include "src/bytecode/descriptor.h"
+#include "src/runtime/machine.h"
+#include "src/verifier/link_checker.h"
+#include "src/runtime/syslib.h"
+#include "src/services/verify_service.h"
+#include "src/support/rng.h"
+#include "src/verifier/verifier.h"
+
+namespace dvm {
+namespace {
+
+struct GeneratedPair {
+  ClassFile app;
+  ClassFile helper;
+  // Ground truth: does every reference in app match helper's actual exports?
+  bool references_consistent;
+};
+
+// Random helper class exporting a field and a method whose descriptors are
+// chosen from small sets; random app class referencing them with descriptors
+// that may or may not match.
+GeneratedPair Generate(uint64_t seed) {
+  Rng rng(seed);
+  const char* field_descs[] = {"I", "J", "Ljava/lang/String;"};
+  const char* method_descs[] = {"(I)I", "(J)J", "()I", "(Ljava/lang/String;)I"};
+
+  std::string actual_field = field_descs[rng.Uniform(3)];
+  std::string actual_method = method_descs[rng.Uniform(4)];
+  std::string actual_method_name = rng.Chance(0.5) ? "compute" : "process";
+  std::string actual_field_name = rng.Chance(0.5) ? "state" : "data";
+
+  GeneratedPair out;
+  out.references_consistent = true;
+
+  {
+    ClassBuilder cb("gen/Helper", "java/lang/Object");
+    cb.AddField(AccessFlags::kPublic | AccessFlags::kStatic, actual_field_name, actual_field);
+    auto sig = ParseMethodDescriptor(actual_method).value();
+    MethodBuilder& m = cb.AddMethod(AccessFlags::kPublic | AccessFlags::kStatic,
+                                    actual_method_name, actual_method);
+    if (sig.return_type == "I") {
+      m.PushInt(7).Emit(Op::kIreturn);
+    } else if (sig.return_type == "J") {
+      m.PushLong(7).Emit(Op::kLreturn);
+    } else {
+      m.PushNull().Emit(Op::kAreturn);
+    }
+    out.helper = cb.Build().value();
+  }
+
+  // App references: each independently mutated with probability ~1/3.
+  std::string ref_field_name = actual_field_name;
+  std::string ref_field_desc = actual_field;
+  std::string ref_method_name = actual_method_name;
+  std::string ref_method_desc = actual_method;
+  if (rng.Chance(0.33)) {
+    ref_field_desc = field_descs[rng.Uniform(3)];
+    out.references_consistent &= ref_field_desc == actual_field;
+  }
+  if (rng.Chance(0.33)) {
+    ref_field_name = rng.Chance(0.5) ? "state" : "data";
+    out.references_consistent &= ref_field_name == actual_field_name;
+  }
+  if (rng.Chance(0.33)) {
+    ref_method_desc = method_descs[rng.Uniform(4)];
+    out.references_consistent &= ref_method_desc == actual_method;
+  }
+  if (rng.Chance(0.33)) {
+    ref_method_name = rng.Chance(0.5) ? "compute" : "process";
+    out.references_consistent &= ref_method_name == actual_method_name;
+  }
+
+  {
+    ClassBuilder cb("gen/App", "java/lang/Object");
+    MethodBuilder& m = cb.AddMethod(AccessFlags::kPublic | AccessFlags::kStatic, "main",
+                                    "()V");
+    m.Emit(Op::kGetstatic, cb.pool().AddFieldRef("gen/Helper", ref_field_name,
+                                                 ref_field_desc));
+    m.Emit(Op::kPop);
+    auto sig = ParseMethodDescriptor(ref_method_desc).value();
+    for (const auto& param : sig.params) {
+      if (param == "I") {
+        m.PushInt(1);
+      } else if (param == "J") {
+        m.PushLong(1);
+      } else {
+        m.PushNull();
+      }
+    }
+    m.Emit(Op::kInvokestatic,
+           cb.pool().AddMethodRef("gen/Helper", ref_method_name, ref_method_desc));
+    if (!sig.ReturnsVoid()) {
+      m.Emit(Op::kPop);
+    }
+    m.Emit(Op::kReturn);
+    out.app = cb.Build().value();
+  }
+  return out;
+}
+
+class DifferentialVerifierTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialVerifierTest, SplitVerificationMatchesFullVerification) {
+  GeneratedPair pair = Generate(GetParam());
+  std::vector<ClassFile> library = BuildSystemLibrary();
+
+  // --- FULL: verify the app with the helper visible -----------------------------
+  MapClassEnv full_env;
+  for (const auto& cls : library) {
+    full_env.Add(&cls);
+  }
+  full_env.Add(&pair.helper);
+  auto full = VerifyClass(pair.app, full_env);
+  // Residual assumptions in the full path must also hold (e.g. nothing here).
+  bool full_accepts = full.ok();
+  if (full_accepts) {
+    LinkCheckStats stats;
+    full_accepts = CheckAssumptions(full->assumptions, full_env, &stats).ok();
+  }
+  EXPECT_EQ(full_accepts, pair.references_consistent)
+      << "ground truth disagrees with full verification (seed " << GetParam() << ")";
+
+  // --- SPLIT: proxy never sees the helper; client runs injected checks ----------
+  MapClassEnv partial_env;
+  for (const auto& cls : library) {
+    partial_env.Add(&cls);
+  }
+  VerificationFilter filter;
+  FilterContext ctx;
+  ctx.env = &partial_env;
+  ClassFile rewritten = pair.app;
+  auto outcome = filter.Apply(rewritten, ctx);
+  ASSERT_TRUE(outcome.ok()) << outcome.error().ToString();
+  ASSERT_FALSE(outcome->replacement.has_value())
+      << "static phases must not reject: the helper is simply unknown";
+
+  MapClassProvider provider;
+  InstallSystemLibrary(provider);
+  provider.AddClassFile(rewritten);
+  provider.AddClassFile(pair.helper);
+  Machine machine({}, &provider);
+  InstallVerifierRuntime(machine);
+  auto run = machine.RunMain("gen/App");
+  ASSERT_TRUE(run.ok()) << run.error().ToString();
+
+  bool split_accepts = !run->threw;
+  if (run->threw) {
+    EXPECT_EQ(run->exception_class, "java/lang/VerifyError")
+        << run->exception_class << ": " << run->exception_message;
+  }
+  EXPECT_EQ(split_accepts, full_accepts)
+      << "factored verification diverged from monolithic verification (seed "
+      << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialVerifierTest,
+                         ::testing::Range<uint64_t>(1, 101));
+
+}  // namespace
+}  // namespace dvm

@@ -1,0 +1,187 @@
+// Tests for the guest-coded collection classes (java/util/Vector and
+// java/util/IntMap, written in DVM bytecode). Exercised through bytecode
+// driver programs so every path runs on the interpreter.
+#include <gtest/gtest.h>
+
+#include "src/bytecode/builder.h"
+#include "src/runtime/guestlib.h"
+#include "src/runtime/machine.h"
+#include "src/runtime/syslib.h"
+#include "src/verifier/verifier.h"
+
+namespace dvm {
+namespace {
+
+class GuestLibTest : public ::testing::Test {
+ protected:
+  GuestLibTest() { InstallSystemLibrary(provider_); }
+
+  CallOutcome Run(ClassBuilder& cb, const std::string& cls, const std::string& method,
+                  const std::string& desc, std::vector<Value> args = {}) {
+    auto built = cb.Build();
+    EXPECT_TRUE(built.ok()) << (built.ok() ? "" : built.error().ToString());
+    provider_.AddClassFile(built.value());
+    machine_ = std::make_unique<Machine>(MachineConfig{}, &provider_);
+    auto out = machine_->CallStatic(cls, method, desc, std::move(args));
+    EXPECT_TRUE(out.ok()) << (out.ok() ? "" : out.error().ToString());
+    return out.ok() ? out.value() : CallOutcome{};
+  }
+
+  MapClassProvider provider_;
+  std::unique_ptr<Machine> machine_;
+};
+
+TEST_F(GuestLibTest, GuestClassesVerify) {
+  std::vector<ClassFile> library = BuildSystemLibrary();
+  MapClassEnv env;
+  for (const auto& cls : library) {
+    env.Add(&cls);
+  }
+  ClassFile vec = BuildGuestVector();
+  ClassFile map = BuildGuestIntMap();
+  auto v = VerifyClass(vec, env);
+  EXPECT_TRUE(v.ok()) << (v.ok() ? "" : v.error().ToString());
+  auto m = VerifyClass(map, env);
+  EXPECT_TRUE(m.ok()) << (m.ok() ? "" : m.error().ToString());
+}
+
+TEST_F(GuestLibTest, VectorAddGetAcrossGrowth) {
+  // Add n strings; return length of the element at index n-1 plus size().
+  ClassBuilder cb("gl/VecUse", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic | AccessFlags::kPublic, "f", "(I)I");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.New("java/util/Vector").Emit(Op::kDup);
+  m.InvokeSpecial("java/util/Vector", "<init>", "()V");
+  m.StoreLocal("Ljava/util/Vector;", 1);
+  m.PushInt(0).StoreLocal("I", 2);
+  m.Bind(loop).LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, done);
+  m.LoadLocal("Ljava/util/Vector;", 1).PushString("item");
+  m.InvokeVirtual("java/util/Vector", "add", "(Ljava/lang/Object;)V");
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
+  m.Bind(done);
+  m.LoadLocal("Ljava/util/Vector;", 1).LoadLocal("I", 0).PushInt(1).Emit(Op::kIsub);
+  m.InvokeVirtual("java/util/Vector", "get", "(I)Ljava/lang/Object;");
+  m.CheckCast("java/lang/String");
+  m.InvokeVirtual("java/lang/String", "length", "()I");
+  m.LoadLocal("Ljava/util/Vector;", 1).InvokeVirtual("java/util/Vector", "size", "()I");
+  m.Emit(Op::kIadd).Emit(Op::kIreturn);
+
+  // 100 elements forces several capacity doublings past the initial 8.
+  CallOutcome out = Run(cb, "gl/VecUse", "f", "(I)I", {Value::Int(100)});
+  EXPECT_FALSE(out.threw) << out.exception_class;
+  EXPECT_EQ(out.value.AsInt(), 4 + 100);
+}
+
+TEST_F(GuestLibTest, VectorSetReplacesAndGetBoundsChecks) {
+  ClassBuilder cb("gl/VecSet", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic | AccessFlags::kPublic, "f", "(I)I");
+  m.New("java/util/Vector").Emit(Op::kDup);
+  m.InvokeSpecial("java/util/Vector", "<init>", "()V");
+  m.StoreLocal("Ljava/util/Vector;", 1);
+  m.LoadLocal("Ljava/util/Vector;", 1).PushString("a");
+  m.InvokeVirtual("java/util/Vector", "add", "(Ljava/lang/Object;)V");
+  m.LoadLocal("Ljava/util/Vector;", 1).PushInt(0).PushString("longer");
+  m.InvokeVirtual("java/util/Vector", "set", "(ILjava/lang/Object;)V");
+  // get(arg): arg=0 works, arg=5 throws.
+  m.LoadLocal("Ljava/util/Vector;", 1).LoadLocal("I", 0);
+  m.InvokeVirtual("java/util/Vector", "get", "(I)Ljava/lang/Object;");
+  m.CheckCast("java/lang/String");
+  m.InvokeVirtual("java/lang/String", "length", "()I").Emit(Op::kIreturn);
+
+  CallOutcome ok = Run(cb, "gl/VecSet", "f", "(I)I", {Value::Int(0)});
+  EXPECT_FALSE(ok.threw);
+  EXPECT_EQ(ok.value.AsInt(), 6);
+
+  auto out = machine_->CallStatic("gl/VecSet", "f", "(I)I", {Value::Int(5)});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->threw);
+  EXPECT_EQ(out->exception_class, "java/lang/ArrayIndexOutOfBoundsException");
+}
+
+TEST_F(GuestLibTest, IntMapPutGetAcrossRehash) {
+  // Insert n keys (k -> k*3), then sum lookups of all n keys plus a missing
+  // key's fallback.
+  ClassBuilder cb("gl/MapUse", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic | AccessFlags::kPublic, "f", "(I)I");
+  Label put = m.NewLabel(), put_done = m.NewLabel();
+  Label get = m.NewLabel(), get_done = m.NewLabel();
+  m.New("java/util/IntMap").Emit(Op::kDup);
+  m.InvokeSpecial("java/util/IntMap", "<init>", "()V");
+  m.StoreLocal("Ljava/util/IntMap;", 1);
+  m.PushInt(0).StoreLocal("I", 2);
+  m.Bind(put).LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, put_done);
+  m.LoadLocal("Ljava/util/IntMap;", 1).LoadLocal("I", 2);
+  m.LoadLocal("I", 2).PushInt(3).Emit(Op::kImul);
+  m.InvokeVirtual("java/util/IntMap", "put", "(II)V");
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, put);
+  m.Bind(put_done);
+  m.PushInt(0).StoreLocal("I", 3).PushInt(0).StoreLocal("I", 2);
+  m.Bind(get).LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, get_done);
+  m.LoadLocal("I", 3);
+  m.LoadLocal("Ljava/util/IntMap;", 1).LoadLocal("I", 2).PushInt(-1);
+  m.InvokeVirtual("java/util/IntMap", "get", "(II)I");
+  m.Emit(Op::kIadd).StoreLocal("I", 3);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, get);
+  m.Bind(get_done);
+  // Missing key contributes its fallback (-7).
+  m.LoadLocal("I", 3);
+  m.LoadLocal("Ljava/util/IntMap;", 1).PushInt(123456).PushInt(-7);
+  m.InvokeVirtual("java/util/IntMap", "get", "(II)I");
+  m.Emit(Op::kIadd).Emit(Op::kIreturn);
+
+  // 100 inserts push the map through several rehashes (16 -> 256).
+  CallOutcome out = Run(cb, "gl/MapUse", "f", "(I)I", {Value::Int(100)});
+  EXPECT_FALSE(out.threw) << out.exception_class << ": " << out.exception_message;
+  // sum(3k, k<100) - 7 = 3 * 4950 - 7.
+  EXPECT_EQ(out.value.AsInt(), 14850 - 7);
+}
+
+TEST_F(GuestLibTest, IntMapOverwriteAndSize) {
+  ClassBuilder cb("gl/MapOver", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic | AccessFlags::kPublic, "f", "()I");
+  m.New("java/util/IntMap").Emit(Op::kDup);
+  m.InvokeSpecial("java/util/IntMap", "<init>", "()V");
+  m.StoreLocal("Ljava/util/IntMap;", 1);
+  // put(9, 1); put(9, 42): size stays 1, value is 42.
+  m.LoadLocal("Ljava/util/IntMap;", 1).PushInt(9).PushInt(1);
+  m.InvokeVirtual("java/util/IntMap", "put", "(II)V");
+  m.LoadLocal("Ljava/util/IntMap;", 1).PushInt(9).PushInt(42);
+  m.InvokeVirtual("java/util/IntMap", "put", "(II)V");
+  m.LoadLocal("Ljava/util/IntMap;", 1).PushInt(9).PushInt(0);
+  m.InvokeVirtual("java/util/IntMap", "get", "(II)I");
+  m.LoadLocal("Ljava/util/IntMap;", 1).InvokeVirtual("java/util/IntMap", "size", "()I");
+  m.PushInt(100).Emit(Op::kImul).Emit(Op::kIadd).Emit(Op::kIreturn);
+
+  CallOutcome out = Run(cb, "gl/MapOver", "f", "()I");
+  EXPECT_FALSE(out.threw);
+  EXPECT_EQ(out.value.AsInt(), 42 + 100);
+}
+
+TEST_F(GuestLibTest, IntMapCollidingKeysProbeCorrectly) {
+  // Keys 16 apart collide in a 16-slot table under the multiplicative hash's
+  // low bits; linear probing must keep them distinct.
+  ClassBuilder cb("gl/MapColl", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic | AccessFlags::kPublic, "f", "()I");
+  m.New("java/util/IntMap").Emit(Op::kDup);
+  m.InvokeSpecial("java/util/IntMap", "<init>", "()V");
+  m.StoreLocal("Ljava/util/IntMap;", 1);
+  for (int k : {7, 7 + 16, 7 + 32}) {
+    m.LoadLocal("Ljava/util/IntMap;", 1).PushInt(k).PushInt(k * 10);
+    m.InvokeVirtual("java/util/IntMap", "put", "(II)V");
+  }
+  m.PushInt(0).StoreLocal("I", 2);
+  for (int k : {7, 7 + 16, 7 + 32}) {
+    m.LoadLocal("I", 2);
+    m.LoadLocal("Ljava/util/IntMap;", 1).PushInt(k).PushInt(0);
+    m.InvokeVirtual("java/util/IntMap", "get", "(II)I");
+    m.Emit(Op::kIadd).StoreLocal("I", 2);
+  }
+  m.LoadLocal("I", 2).Emit(Op::kIreturn);
+
+  CallOutcome out = Run(cb, "gl/MapColl", "f", "()I");
+  EXPECT_FALSE(out.threw);
+  EXPECT_EQ(out.value.AsInt(), 70 + 230 + 390);
+}
+
+}  // namespace
+}  // namespace dvm

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "src/policy/xml.h"
+#include "src/services/security_service.h"
+#include "src/simnet/sim.h"
+#include "src/support/stats.h"
+
+namespace dvm {
+namespace {
+
+TEST(XmlTest, ParsesElementsAttributesText) {
+  auto doc = ParseXml(R"(<?xml version="1.0"?>
+    <!-- organization policy -->
+    <root a="1" b="two">
+      <child name="x">payload</child>
+      <child name="y"/>
+    </root>)");
+  ASSERT_TRUE(doc.ok()) << doc.error().ToString();
+  EXPECT_EQ(doc->tag, "root");
+  EXPECT_EQ(doc->Attr("a"), "1");
+  EXPECT_EQ(doc->Attr("b"), "two");
+  EXPECT_EQ(doc->Attr("missing", "dflt"), "dflt");
+  ASSERT_EQ(doc->children.size(), 2u);
+  EXPECT_EQ(doc->children[0].text, "payload");
+  EXPECT_EQ(doc->FindChild("child")->Attr("name"), "x");
+  EXPECT_EQ(doc->FindAll("child").size(), 2u);
+  EXPECT_EQ(doc->FindChild("nope"), nullptr);
+}
+
+TEST(XmlTest, DecodesEntities) {
+  auto doc = ParseXml(R"(<e v="a &lt;&gt; b &amp; &quot;c&quot;">x &amp; y</e>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Attr("v"), "a <> b & \"c\"");
+  EXPECT_EQ(doc->text, "x & y");
+}
+
+TEST(XmlTest, HandlesNestedAndComments) {
+  auto doc = ParseXml("<a><b><c k='v'/></b><!-- note --><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->children.size(), 2u);
+  EXPECT_EQ(doc->children[0].children[0].Attr("k"), "v");
+}
+
+TEST(XmlTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseXml("<a><b></a></b>").ok());   // mismatched nesting
+  EXPECT_FALSE(ParseXml("<a>").ok());              // unterminated
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());         // two roots
+  EXPECT_FALSE(ParseXml("<a x=unquoted/>").ok());  // bad attribute
+  EXPECT_FALSE(ParseXml("plain text").ok());
+}
+
+const char* kPolicyXml = R"(<?xml version="1.0"?>
+<policy version="3">
+  <domain sid="applet" code="app/*"/>
+  <domain sid="tools" code="tools/*"/>
+  <allow sid="applet" operation="file.open" target="/tmp/*"/>
+  <deny  sid="applet" operation="file.open" target="*"/>
+  <allow sid="applet" operation="property.get" target="user.*"/>
+  <allow sid="tools"  operation="*" target="*"/>
+  <hook class="java/io/File" method="open" operation="file.open" target-arg="0"/>
+  <hook class="java/io/File" method="read" operation="file.read"/>
+</policy>)";
+
+TEST(SecurityPolicyTest, ParsesFullPolicy) {
+  auto policy = ParseSecurityPolicy(kPolicyXml);
+  ASSERT_TRUE(policy.ok()) << policy.error().ToString();
+  EXPECT_EQ(policy->version, 3u);
+  EXPECT_EQ(policy->code_domains.size(), 2u);
+  EXPECT_EQ(policy->rules.size(), 4u);
+  ASSERT_EQ(policy->hooks.size(), 2u);
+  EXPECT_EQ(policy->hooks[0].target_arg, 0);
+  EXPECT_EQ(policy->hooks[1].target_arg, -1);
+}
+
+TEST(SecurityPolicyTest, DomainAssignmentFirstMatchWins) {
+  auto policy = ParseSecurityPolicy(kPolicyXml);
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy->DomainForClass("app/foo/Main"), "applet");
+  EXPECT_EQ(policy->DomainForClass("tools/x"), "tools");
+  EXPECT_EQ(policy->DomainForClass("java/lang/System"), "");
+}
+
+TEST(SecurityPolicyTest, AccessMatrixEvaluation) {
+  auto policy = ParseSecurityPolicy(kPolicyXml);
+  ASSERT_TRUE(policy.ok());
+  EXPECT_TRUE(policy->Evaluate("applet", "file.open", "/tmp/scratch"));
+  EXPECT_FALSE(policy->Evaluate("applet", "file.open", "/etc/passwd"));
+  EXPECT_TRUE(policy->Evaluate("applet", "property.get", "user.home"));
+  EXPECT_FALSE(policy->Evaluate("applet", "property.get", "os.name"));
+  EXPECT_FALSE(policy->Evaluate("applet", "thread.setPriority", "x"));  // default deny
+  EXPECT_TRUE(policy->Evaluate("tools", "anything", "anywhere"));
+  EXPECT_TRUE(policy->Evaluate("", "anything", "anywhere"));  // trusted code
+}
+
+TEST(SecurityPolicyTest, RejectsBadPolicies) {
+  EXPECT_FALSE(ParseSecurityPolicy("<rules/>").ok());
+  EXPECT_FALSE(ParseSecurityPolicy("<policy><domain sid='x'/></policy>").ok());
+  EXPECT_FALSE(ParseSecurityPolicy("<policy><hook class='*'/></policy>").ok());
+  EXPECT_FALSE(ParseSecurityPolicy("<policy><frobnicate/></policy>").ok());
+}
+
+// --- simnet --------------------------------------------------------------------
+
+TEST(SimnetTest, EventQueueOrdersByTimeThenFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(20, [&] { order.push_back(2); });
+  queue.Schedule(10, [&] { order.push_back(1); });
+  queue.Schedule(20, [&] { order.push_back(3); });  // same time: FIFO
+  queue.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 20u);
+}
+
+TEST(SimnetTest, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.Schedule(5, [&] {
+    fired++;
+    queue.Schedule(queue.now() + 5, [&] { fired++; });
+  });
+  queue.RunUntilEmpty();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.now(), 10u);
+}
+
+TEST(SimnetTest, LinkSerializesMessages) {
+  // 1 MB/s, 1 ms latency. Two 1 MB messages offered at t=0.
+  SimLink link(1e6, kMillisecond);
+  SimTime first = link.Deliver(0, 1'000'000);
+  SimTime second = link.Deliver(0, 1'000'000);
+  EXPECT_EQ(first, kSecond + kMillisecond);
+  EXPECT_EQ(second, 2 * kSecond + kMillisecond);  // queued behind the first
+  EXPECT_EQ(link.bytes_carried(), 2'000'000u);
+}
+
+TEST(SimnetTest, LinkIdleGapsDoNotAccumulate) {
+  SimLink link(1e6, 0);
+  SimTime first = link.Deliver(0, 1'000'000);
+  EXPECT_EQ(first, kSecond);
+  // Offered long after the link went idle: no queueing.
+  SimTime second = link.Deliver(10 * kSecond, 1'000'000);
+  EXPECT_EQ(second, 11 * kSecond);
+}
+
+TEST(SimnetTest, CpuServerQueues) {
+  CpuServer cpu;
+  EXPECT_EQ(cpu.Execute(0, 100), 100u);
+  EXPECT_EQ(cpu.Execute(0, 100), 200u);   // queued
+  EXPECT_EQ(cpu.Execute(500, 100), 600u); // idle gap
+  EXPECT_EQ(cpu.jobs(), 3u);
+  EXPECT_EQ(cpu.busy_time(), 300u);
+}
+
+TEST(SimnetTest, BandwidthPresetsSane) {
+  SimLink ethernet = MakeEthernet10Mb();
+  // 10 Mb/s = 1.25 MB/s; 1.25 MB takes ~1 s.
+  EXPECT_NEAR(static_cast<double>(ethernet.TransmissionTime(1'250'000)), 1e9, 1e7);
+  SimLink modem = MakeModem(28.8);
+  EXPECT_GT(modem.TransmissionTime(3'600), 900 * kMillisecond);
+}
+
+TEST(SimnetTest, WanModelMatchesPaperMean) {
+  WanModel wan(42);
+  RunningStats stats;
+  for (int i = 0; i < 20000; i++) {
+    stats.Add(static_cast<double>(wan.FetchDuration(0)) / 1e6);
+  }
+  EXPECT_NEAR(stats.mean(), 2198.0, 330.0);
+}
+
+}  // namespace
+}  // namespace dvm

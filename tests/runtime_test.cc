@@ -1,0 +1,544 @@
+#include <gtest/gtest.h>
+
+#include "src/bytecode/builder.h"
+#include "src/runtime/heap.h"
+#include "src/runtime/machine.h"
+#include "src/runtime/stack_security.h"
+#include "src/runtime/syslib.h"
+
+namespace dvm {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() { InstallSystemLibrary(provider_); }
+
+  void AddClass(ClassBuilder& cb) {
+    auto built = cb.Build();
+    ASSERT_TRUE(built.ok()) << built.error().ToString();
+    provider_.AddClassFile(built.value());
+  }
+
+  std::unique_ptr<Machine> NewMachine(MachineConfig config = {}) {
+    return std::make_unique<Machine>(config, &provider_);
+  }
+
+  CallOutcome MustRun(Machine& m, const std::string& cls, const std::string& method,
+                      const std::string& desc, std::vector<Value> args = {}) {
+    auto result = m.CallStatic(cls, method, desc, std::move(args));
+    EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error().ToString());
+    return result.ok() ? result.value() : CallOutcome{};
+  }
+
+  MapClassProvider provider_;
+};
+
+TEST_F(RuntimeTest, ArithmeticAndLoop) {
+  ClassBuilder cb("app/Math", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "sumTo", "(I)I");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.PushInt(0).StoreLocal("I", 1).PushInt(0).StoreLocal("I", 2);
+  m.Bind(loop).LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, done);
+  m.LoadLocal("I", 1).LoadLocal("I", 2).Emit(Op::kIadd).StoreLocal("I", 1);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).LoadLocal("I", 1).Emit(Op::kIreturn);
+  AddClass(cb);
+
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Math", "sumTo", "(I)I", {Value::Int(100)});
+  EXPECT_FALSE(out.threw);
+  EXPECT_EQ(out.value.AsInt(), 4950);
+  EXPECT_GT(machine->counters().instructions, 400u);
+  EXPECT_GT(machine->virtual_nanos(), 0u);
+}
+
+TEST_F(RuntimeTest, IntOverflowWraps) {
+  ClassBuilder cb("app/Wrap", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "(II)I");
+  m.LoadLocal("I", 0).LoadLocal("I", 1).Emit(Op::kImul).Emit(Op::kIreturn);
+  AddClass(cb);
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Wrap", "f", "(II)I",
+                            {Value::Int(2147483647), Value::Int(2)});
+  EXPECT_EQ(out.value.AsInt(), -2);
+}
+
+TEST_F(RuntimeTest, LongArithmetic) {
+  ClassBuilder cb("app/Longs", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "(JJ)J");
+  m.LoadLocal("J", 0).LoadLocal("J", 1).Emit(Op::kLmul).Emit(Op::kLreturn);
+  AddClass(cb);
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Longs", "f", "(JJ)J",
+                            {Value::Long(3'000'000'000LL), Value::Long(7)});
+  EXPECT_EQ(out.value.AsLong(), 21'000'000'000LL);
+}
+
+TEST_F(RuntimeTest, DivisionByZeroThrows) {
+  ClassBuilder cb("app/Div", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "(II)I");
+  m.LoadLocal("I", 0).LoadLocal("I", 1).Emit(Op::kIdiv).Emit(Op::kIreturn);
+  AddClass(cb);
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Div", "f", "(II)I",
+                            {Value::Int(10), Value::Int(0)});
+  EXPECT_TRUE(out.threw);
+  EXPECT_EQ(out.exception_class, "java/lang/ArithmeticException");
+}
+
+TEST_F(RuntimeTest, ObjectsFieldsAndVirtualDispatch) {
+  ClassBuilder base("app/Animal", "java/lang/Object");
+  base.AddDefaultConstructor();
+  base.AddMethod(AccessFlags::kPublic, "legs", "()I").PushInt(4).Emit(Op::kIreturn);
+  AddClass(base);
+
+  ClassBuilder sub("app/Bird", "app/Animal");
+  sub.AddDefaultConstructor();
+  sub.AddMethod(AccessFlags::kPublic, "legs", "()I").PushInt(2).Emit(Op::kIreturn);
+  AddClass(sub);
+
+  ClassBuilder driver("app/Zoo", "java/lang/Object");
+  MethodBuilder& m = driver.AddMethod(AccessFlags::kStatic, "count", "()I");
+  // new Bird() stored as Animal; virtual call must reach Bird.legs().
+  m.New("app/Bird").Emit(Op::kDup).InvokeSpecial("app/Bird", "<init>", "()V");
+  m.StoreLocal("Lapp/Animal;", 0);
+  m.LoadLocal("Lapp/Animal;", 0).InvokeVirtual("app/Animal", "legs", "()I");
+  m.Emit(Op::kIreturn);
+  AddClass(driver);
+
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Zoo", "count", "()I");
+  EXPECT_EQ(out.value.AsInt(), 2);
+}
+
+TEST_F(RuntimeTest, FieldsInheritedAcrossChain) {
+  ClassBuilder base("app/Base", "java/lang/Object");
+  base.AddField(AccessFlags::kPublic, "x", "I");
+  base.AddDefaultConstructor();
+  AddClass(base);
+
+  ClassBuilder sub("app/Sub", "app/Base");
+  sub.AddField(AccessFlags::kPublic, "y", "I");
+  sub.AddDefaultConstructor();
+  AddClass(sub);
+
+  ClassBuilder driver("app/FieldDriver", "java/lang/Object");
+  MethodBuilder& m = driver.AddMethod(AccessFlags::kStatic, "f", "()I");
+  m.New("app/Sub").Emit(Op::kDup).InvokeSpecial("app/Sub", "<init>", "()V");
+  m.StoreLocal("Lapp/Sub;", 0);
+  m.LoadLocal("Lapp/Sub;", 0).PushInt(7).PutField("app/Base", "x", "I");
+  m.LoadLocal("Lapp/Sub;", 0).PushInt(35).PutField("app/Sub", "y", "I");
+  m.LoadLocal("Lapp/Sub;", 0).GetField("app/Base", "x", "I");
+  m.LoadLocal("Lapp/Sub;", 0).GetField("app/Sub", "y", "I");
+  m.Emit(Op::kIadd).Emit(Op::kIreturn);
+  AddClass(driver);
+
+  auto machine = NewMachine();
+  EXPECT_EQ(MustRun(*machine, "app/FieldDriver", "f", "()I").value.AsInt(), 42);
+}
+
+TEST_F(RuntimeTest, StaticFieldsAndClinit) {
+  ClassBuilder cb("app/Counter", "java/lang/Object");
+  cb.AddField(AccessFlags::kStatic | AccessFlags::kPublic, "count", "I");
+  MethodBuilder& clinit = cb.AddMethod(AccessFlags::kStatic, "<clinit>", "()V");
+  clinit.PushInt(41).PutStatic("app/Counter", "count", "I").Emit(Op::kReturn);
+  MethodBuilder& bump = cb.AddMethod(AccessFlags::kStatic, "bump", "()I");
+  bump.GetStatic("app/Counter", "count", "I").PushInt(1).Emit(Op::kIadd);
+  bump.Emit(Op::kDup).PutStatic("app/Counter", "count", "I").Emit(Op::kIreturn);
+  AddClass(cb);
+
+  auto machine = NewMachine();
+  EXPECT_EQ(MustRun(*machine, "app/Counter", "bump", "()I").value.AsInt(), 42);
+  EXPECT_EQ(MustRun(*machine, "app/Counter", "bump", "()I").value.AsInt(), 43);
+}
+
+TEST_F(RuntimeTest, ArraysEndToEnd) {
+  ClassBuilder cb("app/Arrays", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "reverseSum", "(I)I");
+  Label fill = m.NewLabel(), fill_done = m.NewLabel();
+  Label sum = m.NewLabel(), sum_done = m.NewLabel();
+  m.LoadLocal("I", 0).Emit(Op::kNewarray, static_cast<int>(ArrayKind::kInt));
+  m.StoreLocal("[I", 1);
+  m.PushInt(0).StoreLocal("I", 2);
+  m.Bind(fill).LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, fill_done);
+  m.LoadLocal("[I", 1).LoadLocal("I", 2).LoadLocal("I", 2).Emit(Op::kIastore);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, fill);
+  m.Bind(fill_done);
+  m.PushInt(0).StoreLocal("I", 3);
+  m.PushInt(0).StoreLocal("I", 2);
+  m.Bind(sum).LoadLocal("I", 2).LoadLocal("[I", 1).Emit(Op::kArraylength);
+  m.Branch(Op::kIfIcmpge, sum_done);
+  m.LoadLocal("I", 3).LoadLocal("[I", 1).LoadLocal("I", 2).Emit(Op::kIaload);
+  m.Emit(Op::kIadd).StoreLocal("I", 3);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, sum);
+  m.Bind(sum_done).LoadLocal("I", 3).Emit(Op::kIreturn);
+  AddClass(cb);
+
+  auto machine = NewMachine();
+  EXPECT_EQ(MustRun(*machine, "app/Arrays", "reverseSum", "(I)I", {Value::Int(10)})
+                .value.AsInt(),
+            45);
+}
+
+TEST_F(RuntimeTest, ArrayIndexOutOfBoundsThrows) {
+  ClassBuilder cb("app/Oob", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "()I");
+  m.PushInt(3).Emit(Op::kNewarray, static_cast<int>(ArrayKind::kInt));
+  m.PushInt(5).Emit(Op::kIaload).Emit(Op::kIreturn);
+  AddClass(cb);
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Oob", "f", "()I");
+  EXPECT_TRUE(out.threw);
+  EXPECT_EQ(out.exception_class, "java/lang/ArrayIndexOutOfBoundsException");
+}
+
+TEST_F(RuntimeTest, NullPointerOnFieldAccess) {
+  ClassBuilder cb("app/Npe", "java/lang/Object");
+  cb.AddField(AccessFlags::kPublic, "x", "I");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "()I");
+  m.PushNull().CheckCast("app/Npe").GetField("app/Npe", "x", "I").Emit(Op::kIreturn);
+  AddClass(cb);
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Npe", "f", "()I");
+  EXPECT_TRUE(out.threw);
+  EXPECT_EQ(out.exception_class, "java/lang/NullPointerException");
+}
+
+TEST_F(RuntimeTest, ThrowAndCatch) {
+  ClassBuilder cb("app/Catch", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "()I");
+  Label start = m.NewLabel(), end = m.NewLabel(), handler = m.NewLabel();
+  m.Bind(start);
+  m.New("java/lang/RuntimeException").Emit(Op::kDup);
+  m.PushString("boom");
+  m.InvokeSpecial("java/lang/RuntimeException", "<init>", "(Ljava/lang/String;)V");
+  m.Emit(Op::kAthrow);
+  m.Bind(end);
+  m.Bind(handler);
+  m.InvokeVirtual("java/lang/Throwable", "getMessage", "()Ljava/lang/String;");
+  m.InvokeVirtual("java/lang/String", "length", "()I");
+  m.Emit(Op::kIreturn);
+  m.AddHandler(start, end, handler, "java/lang/Exception");
+  AddClass(cb);
+
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Catch", "f", "()I");
+  EXPECT_FALSE(out.threw) << out.exception_class << ": " << out.exception_message;
+  EXPECT_EQ(out.value.AsInt(), 4);  // "boom"
+}
+
+TEST_F(RuntimeTest, UncaughtExceptionPropagatesAcrossFrames) {
+  ClassBuilder cb("app/Deep", "java/lang/Object");
+  MethodBuilder& inner = cb.AddMethod(AccessFlags::kStatic, "inner", "()V");
+  inner.New("java/lang/IllegalStateException").Emit(Op::kDup);
+  inner.PushString("deep failure");
+  inner.InvokeSpecial("java/lang/IllegalStateException", "<init>", "(Ljava/lang/String;)V");
+  inner.Emit(Op::kAthrow);
+  MethodBuilder& outer = cb.AddMethod(AccessFlags::kStatic, "outer", "()V");
+  outer.InvokeStatic("app/Deep", "inner", "()V").Emit(Op::kReturn);
+  AddClass(cb);
+
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Deep", "outer", "()V");
+  EXPECT_TRUE(out.threw);
+  EXPECT_EQ(out.exception_class, "java/lang/IllegalStateException");
+  EXPECT_EQ(out.exception_message, "deep failure");
+  // Call stack must unwind fully.
+  EXPECT_TRUE(machine->call_stack().empty());
+}
+
+TEST_F(RuntimeTest, CatchBySuperclassMatches) {
+  ClassBuilder cb("app/SuperCatch", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "()I");
+  Label start = m.NewLabel(), end = m.NewLabel(), handler = m.NewLabel();
+  m.Bind(start);
+  m.New("java/lang/NullPointerException").Emit(Op::kDup);
+  m.InvokeSpecial("java/lang/NullPointerException", "<init>", "()V");
+  m.Emit(Op::kAthrow);
+  m.Bind(end).Bind(handler).Emit(Op::kPop).PushInt(1).Emit(Op::kIreturn);
+  m.AddHandler(start, end, handler, "java/lang/RuntimeException");
+  AddClass(cb);
+  auto machine = NewMachine();
+  EXPECT_EQ(MustRun(*machine, "app/SuperCatch", "f", "()I").value.AsInt(), 1);
+}
+
+TEST_F(RuntimeTest, CheckcastAndInstanceof) {
+  ClassBuilder cb("app/Cast", "java/lang/Object");
+  MethodBuilder& ok = cb.AddMethod(AccessFlags::kStatic, "good", "()I");
+  ok.New("java/lang/Exception").Emit(Op::kDup);
+  ok.InvokeSpecial("java/lang/Exception", "<init>", "()V");
+  ok.InstanceOf("java/lang/Throwable").Emit(Op::kIreturn);
+  MethodBuilder& bad = cb.AddMethod(AccessFlags::kStatic, "bad", "()V");
+  bad.New("java/lang/Exception").Emit(Op::kDup);
+  bad.InvokeSpecial("java/lang/Exception", "<init>", "()V");
+  bad.CheckCast("java/lang/String").Emit(Op::kPop).Emit(Op::kReturn);
+  AddClass(cb);
+
+  auto machine = NewMachine();
+  EXPECT_EQ(MustRun(*machine, "app/Cast", "good", "()I").value.AsInt(), 1);
+  CallOutcome out = MustRun(*machine, "app/Cast", "bad", "()V");
+  EXPECT_TRUE(out.threw);
+  EXPECT_EQ(out.exception_class, "java/lang/ClassCastException");
+}
+
+TEST_F(RuntimeTest, StringNativesWork) {
+  ClassBuilder cb("app/Str", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "()I");
+  m.PushString("hello ").PushString("world");
+  m.InvokeVirtual("java/lang/String", "concat", "(Ljava/lang/String;)Ljava/lang/String;");
+  m.InvokeVirtual("java/lang/String", "length", "()I");
+  m.Emit(Op::kIreturn);
+  AddClass(cb);
+  auto machine = NewMachine();
+  EXPECT_EQ(MustRun(*machine, "app/Str", "f", "()I").value.AsInt(), 11);
+}
+
+TEST_F(RuntimeTest, PrintlnCollectsOutput) {
+  ClassBuilder cb("app/Hello", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "main", "()V");
+  m.PushString("hello world");
+  m.InvokeStatic("java/lang/System", "println", "(Ljava/lang/String;)V");
+  m.Emit(Op::kReturn);
+  AddClass(cb);
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/Hello", "main", "()V");
+  EXPECT_FALSE(out.threw);
+  ASSERT_EQ(machine->printed().size(), 1u);
+  EXPECT_EQ(machine->printed()[0], "hello world");
+}
+
+TEST_F(RuntimeTest, RecursionAndStackOverflow) {
+  ClassBuilder cb("app/Rec", "java/lang/Object");
+  MethodBuilder& fib = cb.AddMethod(AccessFlags::kStatic, "fib", "(I)I");
+  Label recurse = fib.NewLabel();
+  fib.LoadLocal("I", 0).PushInt(2).Branch(Op::kIfIcmpge, recurse);
+  fib.LoadLocal("I", 0).Emit(Op::kIreturn);
+  fib.Bind(recurse);
+  fib.LoadLocal("I", 0).PushInt(1).Emit(Op::kIsub);
+  fib.InvokeStatic("app/Rec", "fib", "(I)I");
+  fib.LoadLocal("I", 0).PushInt(2).Emit(Op::kIsub);
+  fib.InvokeStatic("app/Rec", "fib", "(I)I");
+  fib.Emit(Op::kIadd).Emit(Op::kIreturn);
+
+  MethodBuilder& forever = cb.AddMethod(AccessFlags::kStatic, "forever", "()V");
+  forever.InvokeStatic("app/Rec", "forever", "()V").Emit(Op::kReturn);
+  AddClass(cb);
+
+  auto machine = NewMachine();
+  EXPECT_EQ(MustRun(*machine, "app/Rec", "fib", "(I)I", {Value::Int(15)}).value.AsInt(), 610);
+
+  CallOutcome out = MustRun(*machine, "app/Rec", "forever", "()V");
+  EXPECT_TRUE(out.threw);
+  EXPECT_EQ(out.exception_class, "java/lang/StackOverflowError");
+}
+
+TEST_F(RuntimeTest, GcReclaimsGarbage) {
+  ClassBuilder cb("app/Churn", "java/lang/Object");
+  cb.AddDefaultConstructor();
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "churn", "(I)V");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.PushInt(0).StoreLocal("I", 1);
+  m.Bind(loop).LoadLocal("I", 1).LoadLocal("I", 0).Branch(Op::kIfIcmpge, done);
+  m.PushInt(1000).Emit(Op::kNewarray, static_cast<int>(ArrayKind::kInt)).Emit(Op::kPop);
+  m.Emit(Op::kIinc, 1, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).Emit(Op::kReturn);
+  AddClass(cb);
+
+  MachineConfig config;
+  config.heap_capacity_bytes = 256 * 1024;  // small heap forces collection
+  auto machine = NewMachine(config);
+  CallOutcome out = MustRun(*machine, "app/Churn", "churn", "(I)V", {Value::Int(500)});
+  EXPECT_FALSE(out.threw) << out.exception_class;
+  EXPECT_GT(machine->counters().gc_runs, 0u);
+  EXPECT_LT(machine->heap().live_bytes(), 256 * 1024u);
+}
+
+TEST_F(RuntimeTest, GcPreservesReachableObjects) {
+  ClassBuilder cb("app/Keep", "java/lang/Object");
+  cb.AddDefaultConstructor();
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "(I)I");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  // keep[] holds live data across churn; verify it survives.
+  m.PushInt(100).Emit(Op::kNewarray, static_cast<int>(ArrayKind::kInt)).StoreLocal("[I", 1);
+  m.LoadLocal("[I", 1).PushInt(7).PushInt(1234).Emit(Op::kIastore);
+  m.PushInt(0).StoreLocal("I", 2);
+  m.Bind(loop).LoadLocal("I", 2).LoadLocal("I", 0).Branch(Op::kIfIcmpge, done);
+  m.PushInt(2000).Emit(Op::kNewarray, static_cast<int>(ArrayKind::kInt)).Emit(Op::kPop);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).LoadLocal("[I", 1).PushInt(7).Emit(Op::kIaload).Emit(Op::kIreturn);
+  AddClass(cb);
+
+  MachineConfig config;
+  config.heap_capacity_bytes = 128 * 1024;
+  auto machine = NewMachine(config);
+  CallOutcome out = MustRun(*machine, "app/Keep", "f", "(I)I", {Value::Int(200)});
+  EXPECT_FALSE(out.threw);
+  EXPECT_EQ(out.value.AsInt(), 1234);
+  EXPECT_GT(machine->counters().gc_runs, 0u);
+}
+
+TEST_F(RuntimeTest, MonolithicVerifyOnLoadRejectsBadClass) {
+  // A class whose bytecode underflows the stack must be rejected at load time
+  // under the monolithic configuration.
+  ClassBuilder cb("app/Bad", "java/lang/Object");
+  cb.AddMethod(AccessFlags::kStatic, "f", "()V").Emit(Op::kReturn);
+  auto built = cb.Build();
+  ASSERT_TRUE(built.ok());
+  ClassFile cls = std::move(built).value();
+  cls.FindMethod("f", "()V")->code->code = {static_cast<uint8_t>(Op::kPop),
+                                            static_cast<uint8_t>(Op::kReturn)};
+  cls.FindMethod("f", "()V")->code->max_stack = 4;
+  provider_.AddClassFile(cls);
+
+  MachineConfig config;
+  config.verify_on_load = true;
+  auto machine = NewMachine(config);
+  auto result = machine->CallStatic("app/Bad", "f", "()V");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kVerifyError);
+}
+
+TEST_F(RuntimeTest, MonolithicModeChargesVerificationTime) {
+  ClassBuilder cb("app/Verified", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "()I");
+  m.PushInt(0);
+  for (int i = 0; i < 50; i++) {
+    m.PushInt(i).Emit(Op::kIadd);
+  }
+  m.Emit(Op::kIreturn);
+  AddClass(cb);
+
+  MachineConfig mono;
+  mono.verify_on_load = true;
+  auto monolithic = NewMachine(mono);
+  MustRun(*monolithic, "app/Verified", "f", "()I");
+
+  auto dvm_client = NewMachine();
+  MustRun(*dvm_client, "app/Verified", "f", "()I");
+
+  EXPECT_GT(monolithic->ServiceNanos("verify"), 0u);
+  EXPECT_EQ(dvm_client->ServiceNanos("verify"), 0u);
+}
+
+TEST_F(RuntimeTest, StackIntrospectionSecurityDeniesUngrantedDomain) {
+  ClassBuilder cb("app/Sandboxed", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "readProp", "()Ljava/lang/String;");
+  m.PushString("user.home");
+  m.InvokeStatic("java/lang/System", "getProperty",
+                 "(Ljava/lang/String;)Ljava/lang/String;");
+  m.Emit(Op::kAreturn);
+  AddClass(cb);
+
+  MachineConfig config;
+  config.stack_introspection_security = true;
+  auto machine = NewMachine(config);
+  machine->properties()["user.home"] = "/home/egs";
+  // Assign the applet's class to an untrusted domain with no grants.
+  auto loaded = machine->EnsureLoaded("app/Sandboxed");
+  ASSERT_TRUE(loaded.ok());
+  loaded.value()->security_domain = "applet";
+
+  CallOutcome out = MustRun(*machine, "app/Sandboxed", "readProp", "()Ljava/lang/String;");
+  EXPECT_TRUE(out.threw);
+  EXPECT_EQ(out.exception_class, "java/lang/SecurityException");
+
+  // Grant and retry: succeeds and returns the value.
+  machine->stack_security()->Grant("applet", "property.get.*");
+  out = MustRun(*machine, "app/Sandboxed", "readProp", "()Ljava/lang/String;");
+  EXPECT_FALSE(out.threw);
+  EXPECT_EQ(machine->StringValue(out.value.AsRef()).value(), "/home/egs");
+}
+
+TEST_F(RuntimeTest, FileReadBypassesStackIntrospection) {
+  // The paper's Figure 9 point: JDK-style checks guard open but not read, so a
+  // leaked handle reads files without any check.
+  ClassBuilder cb("app/Leaky", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "readViaHandle", "(I)I");
+  m.LoadLocal("I", 0).InvokeStatic("java/io/File", "read", "(I)I").Emit(Op::kIreturn);
+  AddClass(cb);
+
+  MachineConfig config;
+  config.stack_introspection_security = true;
+  auto machine = NewMachine(config);
+  machine->files().Put("/etc/passwd", "secret");
+  int handle = machine->files().Open("/etc/passwd");
+  auto loaded = machine->EnsureLoaded("app/Leaky");
+  ASSERT_TRUE(loaded.ok());
+  loaded.value()->security_domain = "applet";  // no grants at all
+
+  CallOutcome out = MustRun(*machine, "app/Leaky", "readViaHandle", "(I)I",
+                            {Value::Int(handle)});
+  EXPECT_FALSE(out.threw);
+  EXPECT_EQ(out.value.AsInt(), 's');
+}
+
+TEST_F(RuntimeTest, HeapStatsTrackAllocations) {
+  Heap heap(1024 * 1024);
+  auto a = heap.AllocIntArray(100);
+  ASSERT_TRUE(a.ok());
+  auto b = heap.AllocString("hello");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(heap.live_objects(), 2u);
+  EXPECT_GT(heap.live_bytes(), 400u);
+  heap.Collect({});
+  EXPECT_EQ(heap.live_objects(), 0u);
+  EXPECT_EQ(heap.Get(a.value()), nullptr);
+}
+
+TEST_F(RuntimeTest, HeapReusesFreedSlots) {
+  Heap heap(1024 * 1024);
+  ObjRef first = heap.AllocIntArray(10).value();
+  heap.Collect({});
+  ObjRef second = heap.AllocIntArray(10).value();
+  EXPECT_EQ(first, second);  // slot recycled via free list
+}
+
+TEST_F(RuntimeTest, ClinitFailureBecomesInitializerError) {
+  ClassBuilder cb("app/BadInit", "java/lang/Object");
+  MethodBuilder& clinit = cb.AddMethod(AccessFlags::kStatic, "<clinit>", "()V");
+  clinit.PushInt(1).PushInt(0).Emit(Op::kIdiv).Emit(Op::kPop).Emit(Op::kReturn);
+  cb.AddField(AccessFlags::kStatic | AccessFlags::kPublic, "x", "I");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "()I");
+  m.GetStatic("app/BadInit", "x", "I").Emit(Op::kIreturn);
+  AddClass(cb);
+  auto machine = NewMachine();
+  CallOutcome out = MustRun(*machine, "app/BadInit", "f", "()I");
+  EXPECT_TRUE(out.threw);
+  EXPECT_EQ(out.exception_class, "java/lang/ExceptionInInitializerError");
+}
+
+TEST_F(RuntimeTest, IntegerToStringRoundTrip) {
+  ClassBuilder cb("app/IntStr", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "(I)I");
+  m.LoadLocal("I", 0).InvokeStatic("java/lang/Integer", "toString", "(I)Ljava/lang/String;");
+  m.InvokeStatic("java/lang/Integer", "parseInt", "(Ljava/lang/String;)I");
+  m.Emit(Op::kIreturn);
+  AddClass(cb);
+  auto machine = NewMachine();
+  EXPECT_EQ(MustRun(*machine, "app/IntStr", "f", "(I)I", {Value::Int(-12345)}).value.AsInt(),
+            -12345);
+}
+
+TEST_F(RuntimeTest, MissingClassIsHostError) {
+  auto machine = NewMachine();
+  auto result = machine->CallStatic("no/Such", "f", "()V");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kNotFound);
+}
+
+TEST_F(RuntimeTest, CountersDifferentiateConfigurations) {
+  ClassBuilder cb("app/Count", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "f", "()V");
+  m.PushString("x").InvokeStatic("java/lang/System", "println", "(Ljava/lang/String;)V");
+  m.Emit(Op::kReturn);
+  AddClass(cb);
+
+  auto machine = NewMachine();
+  MustRun(*machine, "app/Count", "f", "()V");
+  EXPECT_GT(machine->counters().classes_loaded, 0u);
+  EXPECT_GT(machine->counters().native_calls, 0u);
+  EXPECT_GT(machine->counters().method_invocations, 0u);
+}
+
+}  // namespace
+}  // namespace dvm

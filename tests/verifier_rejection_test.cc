@@ -1,0 +1,179 @@
+// Table-driven sweep of unsafe bytecode sequences the verifier must reject —
+// one TEST_P instance per exploit shape. Each case hand-assembles a method
+// body (bypassing the builder's own safety checks) and asserts phases 1-3
+// refuse it. These are the classic attack patterns from the verifier
+// literature ([Dean et al. 97], [McGraw & Felten 99]) the paper's service is
+// meant to centralize defenses against.
+#include <gtest/gtest.h>
+
+#include "src/bytecode/builder.h"
+#include "src/runtime/syslib.h"
+#include "src/verifier/verifier.h"
+
+namespace dvm {
+namespace {
+
+struct RejectionCase {
+  const char* name;
+  const char* descriptor;           // method descriptor for `f`
+  std::vector<Instr> (*body)(ConstantPool& pool);
+  uint16_t max_stack;
+  uint16_t max_locals;
+};
+
+std::vector<Instr> StackUnderflow(ConstantPool&) {
+  return {{Op::kPop, 0, 0}, {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> StackOverflowBody(ConstantPool&) {
+  // Pushes past the declared max_stack of 1.
+  return {{Op::kIconst0, 0, 0}, {Op::kIconst0, 0, 0}, {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> TypeConfusionIntAsRef(ConstantPool& pool) {
+  // Use an int as a receiver: iconst_0; invokevirtual Object.hashCode().
+  uint16_t m = pool.AddMethodRef("java/lang/Object", "hashCode", "()I");
+  return {{Op::kIconst0, 0, 0}, {Op::kInvokevirtual, m, 0}, {Op::kPop, 0, 0},
+          {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> TypeConfusionRefAsInt(ConstantPool& pool) {
+  // Arithmetic on a string reference.
+  uint16_t s = pool.AddString("x");
+  return {{Op::kLdc, s, 0}, {Op::kIconst1, 0, 0}, {Op::kIadd, 0, 0}, {Op::kPop, 0, 0},
+          {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> LongIntMix(ConstantPool& pool) {
+  uint16_t l = pool.AddLong(1);
+  return {{Op::kLdc, l, 0}, {Op::kIconst1, 0, 0}, {Op::kLadd, 0, 0}, {Op::kPop, 0, 0},
+          {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> UninitializedLocalRead(ConstantPool&) {
+  // iload of a never-written local (entry frame marks it Top).
+  return {{Op::kIload, 1, 0}, {Op::kPop, 0, 0}, {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> FallOffEnd(ConstantPool&) {
+  return {{Op::kIconst0, 0, 0}, {Op::kPop, 0, 0}};
+}
+
+std::vector<Instr> WrongReturnKind(ConstantPool&) {
+  // ()V method executing ireturn.
+  return {{Op::kIconst0, 0, 0}, {Op::kIreturn, 0, 0}};
+}
+
+std::vector<Instr> BranchDepthMismatch(ConstantPool&) {
+  // Two paths reach the same join with different stack depths.
+  return {
+      {Op::kIload, 0, 0},     // 0
+      {Op::kIfeq, 3, 0},      // 1: branch to 3 with empty stack
+      {Op::kIconst0, 0, 0},   // 2: fall-through pushes
+      {Op::kReturn, 0, 0},    // 3: join — depth 0 vs 1
+  };
+}
+
+std::vector<Instr> UseBeforeInit(ConstantPool& pool) {
+  // new without <init>, then used as an argument.
+  uint16_t cls = pool.AddClass("java/lang/Object");
+  uint16_t m = pool.AddMethodRef("java/lang/Object", "hashCode", "()I");
+  return {{Op::kNew, cls, 0}, {Op::kInvokevirtual, m, 0}, {Op::kPop, 0, 0},
+          {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> ArrayTypeConfusion(ConstantPool&) {
+  // laload from an int array.
+  return {{Op::kBipush, 4, 0},
+          {Op::kNewarray, static_cast<int>(ArrayKind::kInt), 0},
+          {Op::kIconst0, 0, 0},
+          {Op::kLaload, 0, 0},
+          {Op::kPop, 0, 0},
+          {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> ArraylengthOnNonArray(ConstantPool& pool) {
+  uint16_t s = pool.AddString("x");
+  return {{Op::kLdc, s, 0}, {Op::kArraylength, 0, 0}, {Op::kPop, 0, 0},
+          {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> ThrowNonThrowable(ConstantPool& pool) {
+  uint16_t s = pool.AddString("x");
+  return {{Op::kLdc, s, 0}, {Op::kAthrow, 0, 0}};
+}
+
+std::vector<Instr> MonitorOnInt(ConstantPool&) {
+  return {{Op::kIconst0, 0, 0}, {Op::kMonitorenter, 0, 0}, {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> LocalIndexOutOfRange(ConstantPool&) {
+  return {{Op::kIload, 50, 0}, {Op::kPop, 0, 0}, {Op::kReturn, 0, 0}};
+}
+
+std::vector<Instr> StoreRefReadInt(ConstantPool& pool) {
+  // astore a string into local 1, then iload it — the classic pointer-forging
+  // primitive.
+  uint16_t s = pool.AddString("x");
+  return {{Op::kLdc, s, 0},   {Op::kAstore, 1, 0}, {Op::kIload, 1, 0},
+          {Op::kPop, 0, 0},   {Op::kReturn, 0, 0}};
+}
+
+const RejectionCase kCases[] = {
+    {"StackUnderflow", "()V", StackUnderflow, 4, 2},
+    {"StackOverflow", "()V", StackOverflowBody, 1, 2},
+    {"IntUsedAsReceiver", "()V", TypeConfusionIntAsRef, 4, 2},
+    {"RefUsedAsInt", "()V", TypeConfusionRefAsInt, 4, 2},
+    {"LongIntMix", "()V", LongIntMix, 4, 2},
+    {"UninitializedLocalRead", "()V", UninitializedLocalRead, 4, 2},
+    {"FallOffEnd", "()V", FallOffEnd, 4, 2},
+    {"WrongReturnKind", "()V", WrongReturnKind, 4, 2},
+    {"BranchDepthMismatch", "(I)V", BranchDepthMismatch, 4, 2},
+    {"UseBeforeInit", "()V", UseBeforeInit, 4, 2},
+    {"ArrayTypeConfusion", "()V", ArrayTypeConfusion, 4, 2},
+    {"ArraylengthOnNonArray", "()V", ArraylengthOnNonArray, 4, 2},
+    {"ThrowNonThrowable", "()V", ThrowNonThrowable, 4, 2},
+    {"MonitorOnInt", "()V", MonitorOnInt, 4, 2},
+    {"LocalIndexOutOfRange", "()V", LocalIndexOutOfRange, 4, 2},
+    {"StoreRefReadInt", "()V", StoreRefReadInt, 4, 2},
+};
+
+class VerifierRejectionTest : public ::testing::TestWithParam<RejectionCase> {};
+
+TEST_P(VerifierRejectionTest, UnsafeBytecodeIsRejected) {
+  const RejectionCase& param = GetParam();
+
+  ClassBuilder cb("evil/E", "java/lang/Object");
+  cb.AddMethod(AccessFlags::kStatic | AccessFlags::kPublic, "f", param.descriptor)
+      .Emit(Op::kReturn);
+  auto built = cb.Build();
+  ASSERT_TRUE(built.ok());
+  ClassFile cls = std::move(built).value();
+
+  ConstantPool& pool = cls.pool();
+  auto body = param.body(pool);
+  auto encoded = EncodeCode(body);
+  ASSERT_TRUE(encoded.ok()) << encoded.error().ToString();
+  MethodInfo* method = cls.FindMethod("f", param.descriptor);
+  method->code->code = std::move(encoded).value();
+  method->code->max_stack = param.max_stack;
+  method->code->max_locals = param.max_locals;
+
+  static const std::vector<ClassFile>* library =
+      new std::vector<ClassFile>(BuildSystemLibrary());
+  MapClassEnv env;
+  for (const auto& lib_cls : *library) {
+    env.Add(&lib_cls);
+  }
+  auto verified = VerifyClass(cls, env);
+  ASSERT_FALSE(verified.ok()) << "verifier accepted unsafe pattern " << param.name;
+  EXPECT_EQ(verified.error().code, ErrorCode::kVerifyError) << verified.error().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Exploits, VerifierRejectionTest, ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<RejectionCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace dvm

@@ -1,0 +1,87 @@
+// dvmasm: assemble .dvma text into a .dvmc class file, or disassemble back.
+//
+//   dvmasm <in.dvma> <out.dvmc>       assemble
+//   dvmasm -d <in.dvmc> [out.dvma]    disassemble (stdout when no output file)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/bytecode/assembler.h"
+#include "src/bytecode/serializer.h"
+
+using namespace dvm;
+
+namespace {
+
+bool ReadFileBytes(const char* path, Bytes* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  out->assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool ReadFileText(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "-d") == 0) {
+    Bytes data;
+    if (!ReadFileBytes(argv[2], &data)) {
+      std::fprintf(stderr, "dvmasm: cannot read %s\n", argv[2]);
+      return 1;
+    }
+    auto cls = ReadClassFile(data);
+    if (!cls.ok()) {
+      std::fprintf(stderr, "dvmasm: %s\n", cls.error().ToString().c_str());
+      return 1;
+    }
+    std::string text = ToAssembly(*cls);
+    if (argc >= 4) {
+      std::ofstream out(argv[3]);
+      out << text;
+    } else {
+      std::fputs(text.c_str(), stdout);
+    }
+    return 0;
+  }
+
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: dvmasm <in.dvma> <out.dvmc>\n"
+                         "       dvmasm -d <in.dvmc> [out.dvma]\n");
+    return 2;
+  }
+  std::string text;
+  if (!ReadFileText(argv[1], &text)) {
+    std::fprintf(stderr, "dvmasm: cannot read %s\n", argv[1]);
+    return 1;
+  }
+  auto cls = AssembleText(text);
+  if (!cls.ok()) {
+    std::fprintf(stderr, "dvmasm: %s\n", cls.error().ToString().c_str());
+    return 1;
+  }
+  Bytes data = WriteClassFile(*cls);
+  std::ofstream out(argv[2], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "dvmasm: cannot write %s\n", argv[2]);
+    return 1;
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  std::printf("dvmasm: wrote %s (%zu bytes, class %s)\n", argv[2], data.size(),
+              cls->name().c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// dvmgen: materialize a generated workload as .dvmc files on disk, for use
+// with dvmdump and external experimentation.
+//
+//   dvmgen <workload> <output-dir>
+//
+// Workloads: jlex javacup pizza instantdb cassowary workshop studio hotjava
+//            netcharts cq animatedui syslib
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "src/bytecode/serializer.h"
+#include "src/runtime/syslib.h"
+#include "src/workloads/apps.h"
+#include "src/workloads/graphical.h"
+
+using namespace dvm;
+
+namespace {
+
+AppBundle SyslibBundle() {
+  AppBundle bundle;
+  bundle.name = "syslib";
+  bundle.description = "DVM system class library";
+  bundle.classes = BuildSystemLibrary();
+  return bundle;
+}
+
+bool BuildNamed(const std::string& name, AppBundle* out) {
+  if (name == "jlex") {
+    *out = BuildJlexApp(1);
+  } else if (name == "javacup") {
+    *out = BuildJavacupApp(1);
+  } else if (name == "pizza") {
+    *out = BuildPizzaApp(1);
+  } else if (name == "instantdb") {
+    *out = BuildInstantdbApp(1);
+  } else if (name == "cassowary") {
+    *out = BuildCassowaryApp(1);
+  } else if (name == "syslib") {
+    *out = SyslibBundle();
+  } else {
+    for (const auto& spec : GraphicalAppSpecs()) {
+      if (spec.name == name) {
+        *out = GenerateGraphicalApp(spec);
+        return true;
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: dvmgen <workload> <output-dir>\n"
+                 "workloads: jlex javacup pizza instantdb cassowary workshop studio\n"
+                 "           hotjava netcharts cq animatedui syslib\n");
+    return 2;
+  }
+  AppBundle bundle;
+  if (!BuildNamed(argv[1], &bundle)) {
+    std::fprintf(stderr, "dvmgen: unknown workload %s\n", argv[1]);
+    return 1;
+  }
+
+  std::filesystem::path dir(argv[2]);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "dvmgen: cannot create %s: %s\n", argv[2], ec.message().c_str());
+    return 1;
+  }
+
+  uint64_t total = 0;
+  for (const auto& cls : bundle.classes) {
+    Bytes data = WriteClassFile(cls);
+    std::string file_name = cls.name();
+    for (char& c : file_name) {
+      if (c == '/') {
+        c = '.';
+      }
+    }
+    std::ofstream out(dir / (file_name + ".dvmc"), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    total += data.size();
+  }
+
+  std::ofstream manifest(dir / "MANIFEST.txt");
+  manifest << "workload: " << bundle.name << "\n"
+           << "description: " << bundle.description << "\n"
+           << "main-class: " << bundle.main_class << "\n"
+           << "classes: " << bundle.classes.size() << "\n"
+           << "bytes: " << total << "\n";
+
+  std::printf("dvmgen: wrote %zu classes (%llu bytes) to %s\n", bundle.classes.size(),
+              static_cast<unsigned long long>(total), argv[2]);
+  return 0;
+}
