@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_syncelide.dir/bench_ablation_syncelide.cc.o"
+  "CMakeFiles/bench_ablation_syncelide.dir/bench_ablation_syncelide.cc.o.d"
+  "bench_ablation_syncelide"
+  "bench_ablation_syncelide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_syncelide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_applet_latency.dir/bench_applet_latency.cc.o"
+  "CMakeFiles/bench_applet_latency.dir/bench_applet_latency.cc.o.d"
+  "bench_applet_latency"
+  "bench_applet_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_applet_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_startup.dir/bench_fig11_startup.cc.o"
+  "CMakeFiles/bench_fig11_startup.dir/bench_fig11_startup.cc.o.d"
+  "bench_fig11_startup"
+  "bench_fig11_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_repartition.dir/bench_fig12_repartition.cc.o"
+  "CMakeFiles/bench_fig12_repartition.dir/bench_fig12_repartition.cc.o.d"
+  "bench_fig12_repartition"
+  "bench_fig12_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

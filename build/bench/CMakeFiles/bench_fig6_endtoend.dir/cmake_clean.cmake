@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_endtoend.dir/bench_fig6_endtoend.cc.o"
+  "CMakeFiles/bench_fig6_endtoend.dir/bench_fig6_endtoend.cc.o.d"
+  "bench_fig6_endtoend"
+  "bench_fig6_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

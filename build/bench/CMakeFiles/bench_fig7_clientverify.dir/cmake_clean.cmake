@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_clientverify.dir/bench_fig7_clientverify.cc.o"
+  "CMakeFiles/bench_fig7_clientverify.dir/bench_fig7_clientverify.cc.o.d"
+  "bench_fig7_clientverify"
+  "bench_fig7_clientverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_clientverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

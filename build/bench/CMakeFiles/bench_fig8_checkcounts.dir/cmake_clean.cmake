@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_checkcounts.dir/bench_fig8_checkcounts.cc.o"
+  "CMakeFiles/bench_fig8_checkcounts.dir/bench_fig8_checkcounts.cc.o.d"
+  "bench_fig8_checkcounts"
+  "bench_fig8_checkcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_checkcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

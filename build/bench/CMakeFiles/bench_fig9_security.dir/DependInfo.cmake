@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_security.cc" "bench/CMakeFiles/bench_fig9_security.dir/bench_fig9_security.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_security.dir/bench_fig9_security.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dvm/CMakeFiles/dvm_dvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/dvm_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/dvm_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/dvm_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/dvm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/dvm_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/dvm_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/dvm_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dvm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/dvm_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dvm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_security.dir/bench_fig9_security.cc.o"
+  "CMakeFiles/bench_fig9_security.dir/bench_fig9_security.cc.o.d"
+  "bench_fig9_security"
+  "bench_fig9_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

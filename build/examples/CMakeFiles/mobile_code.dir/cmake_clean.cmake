@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_code.dir/mobile_code.cpp.o"
+  "CMakeFiles/mobile_code.dir/mobile_code.cpp.o.d"
+  "mobile_code"
+  "mobile_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

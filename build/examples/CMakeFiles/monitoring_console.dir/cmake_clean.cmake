@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_console.dir/monitoring_console.cpp.o"
+  "CMakeFiles/monitoring_console.dir/monitoring_console.cpp.o.d"
+  "monitoring_console"
+  "monitoring_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("bytecode")
+subdirs("policy")
+subdirs("verifier")
+subdirs("runtime")
+subdirs("rewrite")
+subdirs("services")
+subdirs("compiler")
+subdirs("optimizer")
+subdirs("simnet")
+subdirs("proxy")
+subdirs("dvm")
+subdirs("workloads")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/assembler.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/assembler.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/assembler.cc.o.d"
+  "/root/repo/src/bytecode/builder.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/builder.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/builder.cc.o.d"
+  "/root/repo/src/bytecode/classfile.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/classfile.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/classfile.cc.o.d"
+  "/root/repo/src/bytecode/code.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/code.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/code.cc.o.d"
+  "/root/repo/src/bytecode/constant_pool.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/constant_pool.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/constant_pool.cc.o.d"
+  "/root/repo/src/bytecode/descriptor.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/descriptor.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/descriptor.cc.o.d"
+  "/root/repo/src/bytecode/disasm.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/disasm.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/disasm.cc.o.d"
+  "/root/repo/src/bytecode/opcodes.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/opcodes.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/opcodes.cc.o.d"
+  "/root/repo/src/bytecode/serializer.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/serializer.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/serializer.cc.o.d"
+  "/root/repo/src/bytecode/stack_effect.cc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/stack_effect.cc.o" "gcc" "src/bytecode/CMakeFiles/dvm_bytecode.dir/stack_effect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

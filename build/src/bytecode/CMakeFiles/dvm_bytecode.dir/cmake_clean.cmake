@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_bytecode.dir/assembler.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/assembler.cc.o.d"
+  "CMakeFiles/dvm_bytecode.dir/builder.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/builder.cc.o.d"
+  "CMakeFiles/dvm_bytecode.dir/classfile.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/classfile.cc.o.d"
+  "CMakeFiles/dvm_bytecode.dir/code.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/code.cc.o.d"
+  "CMakeFiles/dvm_bytecode.dir/constant_pool.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/constant_pool.cc.o.d"
+  "CMakeFiles/dvm_bytecode.dir/descriptor.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/descriptor.cc.o.d"
+  "CMakeFiles/dvm_bytecode.dir/disasm.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/disasm.cc.o.d"
+  "CMakeFiles/dvm_bytecode.dir/opcodes.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/opcodes.cc.o.d"
+  "CMakeFiles/dvm_bytecode.dir/serializer.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/serializer.cc.o.d"
+  "CMakeFiles/dvm_bytecode.dir/stack_effect.cc.o"
+  "CMakeFiles/dvm_bytecode.dir/stack_effect.cc.o.d"
+  "libdvm_bytecode.a"
+  "libdvm_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

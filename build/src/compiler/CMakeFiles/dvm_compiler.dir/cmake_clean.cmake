@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_compiler.dir/compiler.cc.o"
+  "CMakeFiles/dvm_compiler.dir/compiler.cc.o.d"
+  "libdvm_compiler.a"
+  "libdvm_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

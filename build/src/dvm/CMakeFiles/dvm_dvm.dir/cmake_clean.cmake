@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_dvm.dir/dvm.cc.o"
+  "CMakeFiles/dvm_dvm.dir/dvm.cc.o.d"
+  "CMakeFiles/dvm_dvm.dir/redirect_client.cc.o"
+  "CMakeFiles/dvm_dvm.dir/redirect_client.cc.o.d"
+  "libdvm_dvm.a"
+  "libdvm_dvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_dvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

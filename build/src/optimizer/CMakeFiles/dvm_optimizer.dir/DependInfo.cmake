@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/repartition.cc" "src/optimizer/CMakeFiles/dvm_optimizer.dir/repartition.cc.o" "gcc" "src/optimizer/CMakeFiles/dvm_optimizer.dir/repartition.cc.o.d"
+  "/root/repo/src/optimizer/sync_elide.cc" "src/optimizer/CMakeFiles/dvm_optimizer.dir/sync_elide.cc.o" "gcc" "src/optimizer/CMakeFiles/dvm_optimizer.dir/sync_elide.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rewrite/CMakeFiles/dvm_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dvm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/dvm_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dvm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

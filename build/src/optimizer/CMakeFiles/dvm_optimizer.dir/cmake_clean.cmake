@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_optimizer.dir/repartition.cc.o"
+  "CMakeFiles/dvm_optimizer.dir/repartition.cc.o.d"
+  "CMakeFiles/dvm_optimizer.dir/sync_elide.cc.o"
+  "CMakeFiles/dvm_optimizer.dir/sync_elide.cc.o.d"
+  "libdvm_optimizer.a"
+  "libdvm_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_policy.dir/xml.cc.o"
+  "CMakeFiles/dvm_policy.dir/xml.cc.o.d"
+  "libdvm_policy.a"
+  "libdvm_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

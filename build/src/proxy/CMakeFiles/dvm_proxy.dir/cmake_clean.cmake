@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_proxy.dir/cache.cc.o"
+  "CMakeFiles/dvm_proxy.dir/cache.cc.o.d"
+  "CMakeFiles/dvm_proxy.dir/proxy.cc.o"
+  "CMakeFiles/dvm_proxy.dir/proxy.cc.o.d"
+  "CMakeFiles/dvm_proxy.dir/signature.cc.o"
+  "CMakeFiles/dvm_proxy.dir/signature.cc.o.d"
+  "libdvm_proxy.a"
+  "libdvm_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/filter.cc" "src/rewrite/CMakeFiles/dvm_rewrite.dir/filter.cc.o" "gcc" "src/rewrite/CMakeFiles/dvm_rewrite.dir/filter.cc.o.d"
+  "/root/repo/src/rewrite/method_editor.cc" "src/rewrite/CMakeFiles/dvm_rewrite.dir/method_editor.cc.o" "gcc" "src/rewrite/CMakeFiles/dvm_rewrite.dir/method_editor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/dvm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/dvm_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

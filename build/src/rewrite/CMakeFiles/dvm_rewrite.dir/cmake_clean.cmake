@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_rewrite.dir/filter.cc.o"
+  "CMakeFiles/dvm_rewrite.dir/filter.cc.o.d"
+  "CMakeFiles/dvm_rewrite.dir/method_editor.cc.o"
+  "CMakeFiles/dvm_rewrite.dir/method_editor.cc.o.d"
+  "libdvm_rewrite.a"
+  "libdvm_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

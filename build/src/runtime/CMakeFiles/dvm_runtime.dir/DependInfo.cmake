@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/class_registry.cc" "src/runtime/CMakeFiles/dvm_runtime.dir/class_registry.cc.o" "gcc" "src/runtime/CMakeFiles/dvm_runtime.dir/class_registry.cc.o.d"
+  "/root/repo/src/runtime/guestlib.cc" "src/runtime/CMakeFiles/dvm_runtime.dir/guestlib.cc.o" "gcc" "src/runtime/CMakeFiles/dvm_runtime.dir/guestlib.cc.o.d"
+  "/root/repo/src/runtime/heap.cc" "src/runtime/CMakeFiles/dvm_runtime.dir/heap.cc.o" "gcc" "src/runtime/CMakeFiles/dvm_runtime.dir/heap.cc.o.d"
+  "/root/repo/src/runtime/interp.cc" "src/runtime/CMakeFiles/dvm_runtime.dir/interp.cc.o" "gcc" "src/runtime/CMakeFiles/dvm_runtime.dir/interp.cc.o.d"
+  "/root/repo/src/runtime/machine.cc" "src/runtime/CMakeFiles/dvm_runtime.dir/machine.cc.o" "gcc" "src/runtime/CMakeFiles/dvm_runtime.dir/machine.cc.o.d"
+  "/root/repo/src/runtime/natives.cc" "src/runtime/CMakeFiles/dvm_runtime.dir/natives.cc.o" "gcc" "src/runtime/CMakeFiles/dvm_runtime.dir/natives.cc.o.d"
+  "/root/repo/src/runtime/stack_security.cc" "src/runtime/CMakeFiles/dvm_runtime.dir/stack_security.cc.o" "gcc" "src/runtime/CMakeFiles/dvm_runtime.dir/stack_security.cc.o.d"
+  "/root/repo/src/runtime/syslib.cc" "src/runtime/CMakeFiles/dvm_runtime.dir/syslib.cc.o" "gcc" "src/runtime/CMakeFiles/dvm_runtime.dir/syslib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verifier/CMakeFiles/dvm_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dvm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_runtime.dir/class_registry.cc.o"
+  "CMakeFiles/dvm_runtime.dir/class_registry.cc.o.d"
+  "CMakeFiles/dvm_runtime.dir/guestlib.cc.o"
+  "CMakeFiles/dvm_runtime.dir/guestlib.cc.o.d"
+  "CMakeFiles/dvm_runtime.dir/heap.cc.o"
+  "CMakeFiles/dvm_runtime.dir/heap.cc.o.d"
+  "CMakeFiles/dvm_runtime.dir/interp.cc.o"
+  "CMakeFiles/dvm_runtime.dir/interp.cc.o.d"
+  "CMakeFiles/dvm_runtime.dir/machine.cc.o"
+  "CMakeFiles/dvm_runtime.dir/machine.cc.o.d"
+  "CMakeFiles/dvm_runtime.dir/natives.cc.o"
+  "CMakeFiles/dvm_runtime.dir/natives.cc.o.d"
+  "CMakeFiles/dvm_runtime.dir/stack_security.cc.o"
+  "CMakeFiles/dvm_runtime.dir/stack_security.cc.o.d"
+  "CMakeFiles/dvm_runtime.dir/syslib.cc.o"
+  "CMakeFiles/dvm_runtime.dir/syslib.cc.o.d"
+  "libdvm_runtime.a"
+  "libdvm_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

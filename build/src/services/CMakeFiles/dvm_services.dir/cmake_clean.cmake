@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_services.dir/monitor_service.cc.o"
+  "CMakeFiles/dvm_services.dir/monitor_service.cc.o.d"
+  "CMakeFiles/dvm_services.dir/reflect_service.cc.o"
+  "CMakeFiles/dvm_services.dir/reflect_service.cc.o.d"
+  "CMakeFiles/dvm_services.dir/security_service.cc.o"
+  "CMakeFiles/dvm_services.dir/security_service.cc.o.d"
+  "CMakeFiles/dvm_services.dir/verify_service.cc.o"
+  "CMakeFiles/dvm_services.dir/verify_service.cc.o.d"
+  "libdvm_services.a"
+  "libdvm_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_simnet.dir/sim.cc.o"
+  "CMakeFiles/dvm_simnet.dir/sim.cc.o.d"
+  "libdvm_simnet.a"
+  "libdvm_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

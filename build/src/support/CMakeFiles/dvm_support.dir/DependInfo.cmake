@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/bytes.cc" "src/support/CMakeFiles/dvm_support.dir/bytes.cc.o" "gcc" "src/support/CMakeFiles/dvm_support.dir/bytes.cc.o.d"
+  "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/dvm_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/dvm_support.dir/logging.cc.o.d"
+  "/root/repo/src/support/md5.cc" "src/support/CMakeFiles/dvm_support.dir/md5.cc.o" "gcc" "src/support/CMakeFiles/dvm_support.dir/md5.cc.o.d"
+  "/root/repo/src/support/stats.cc" "src/support/CMakeFiles/dvm_support.dir/stats.cc.o" "gcc" "src/support/CMakeFiles/dvm_support.dir/stats.cc.o.d"
+  "/root/repo/src/support/strings.cc" "src/support/CMakeFiles/dvm_support.dir/strings.cc.o" "gcc" "src/support/CMakeFiles/dvm_support.dir/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_support.dir/bytes.cc.o"
+  "CMakeFiles/dvm_support.dir/bytes.cc.o.d"
+  "CMakeFiles/dvm_support.dir/logging.cc.o"
+  "CMakeFiles/dvm_support.dir/logging.cc.o.d"
+  "CMakeFiles/dvm_support.dir/md5.cc.o"
+  "CMakeFiles/dvm_support.dir/md5.cc.o.d"
+  "CMakeFiles/dvm_support.dir/stats.cc.o"
+  "CMakeFiles/dvm_support.dir/stats.cc.o.d"
+  "CMakeFiles/dvm_support.dir/strings.cc.o"
+  "CMakeFiles/dvm_support.dir/strings.cc.o.d"
+  "libdvm_support.a"
+  "libdvm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verifier/assumptions.cc" "src/verifier/CMakeFiles/dvm_verifier.dir/assumptions.cc.o" "gcc" "src/verifier/CMakeFiles/dvm_verifier.dir/assumptions.cc.o.d"
+  "/root/repo/src/verifier/link_checker.cc" "src/verifier/CMakeFiles/dvm_verifier.dir/link_checker.cc.o" "gcc" "src/verifier/CMakeFiles/dvm_verifier.dir/link_checker.cc.o.d"
+  "/root/repo/src/verifier/typestate.cc" "src/verifier/CMakeFiles/dvm_verifier.dir/typestate.cc.o" "gcc" "src/verifier/CMakeFiles/dvm_verifier.dir/typestate.cc.o.d"
+  "/root/repo/src/verifier/verifier.cc" "src/verifier/CMakeFiles/dvm_verifier.dir/verifier.cc.o" "gcc" "src/verifier/CMakeFiles/dvm_verifier.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/dvm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

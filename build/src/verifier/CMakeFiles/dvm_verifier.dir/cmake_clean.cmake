@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_verifier.dir/assumptions.cc.o"
+  "CMakeFiles/dvm_verifier.dir/assumptions.cc.o.d"
+  "CMakeFiles/dvm_verifier.dir/link_checker.cc.o"
+  "CMakeFiles/dvm_verifier.dir/link_checker.cc.o.d"
+  "CMakeFiles/dvm_verifier.dir/typestate.cc.o"
+  "CMakeFiles/dvm_verifier.dir/typestate.cc.o.d"
+  "CMakeFiles/dvm_verifier.dir/verifier.cc.o"
+  "CMakeFiles/dvm_verifier.dir/verifier.cc.o.d"
+  "libdvm_verifier.a"
+  "libdvm_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

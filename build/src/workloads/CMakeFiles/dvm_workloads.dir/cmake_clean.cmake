@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_workloads.dir/applets.cc.o"
+  "CMakeFiles/dvm_workloads.dir/applets.cc.o.d"
+  "CMakeFiles/dvm_workloads.dir/apps.cc.o"
+  "CMakeFiles/dvm_workloads.dir/apps.cc.o.d"
+  "CMakeFiles/dvm_workloads.dir/graphical.cc.o"
+  "CMakeFiles/dvm_workloads.dir/graphical.cc.o.d"
+  "libdvm_workloads.a"
+  "libdvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

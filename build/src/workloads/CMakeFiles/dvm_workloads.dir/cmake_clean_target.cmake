@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdvm_workloads.a"
+)

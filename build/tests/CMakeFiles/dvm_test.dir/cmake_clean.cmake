@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvm_test.dir/dvm_test.cc.o"
+  "CMakeFiles/dvm_test.dir/dvm_test.cc.o.d"
+  "dvm_test"
+  "dvm_test.pdb"
+  "dvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_rejection_test.dir/verifier_rejection_test.cc.o"
+  "CMakeFiles/verifier_rejection_test.dir/verifier_rejection_test.cc.o.d"
+  "verifier_rejection_test"
+  "verifier_rejection_test.pdb"
+  "verifier_rejection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_rejection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

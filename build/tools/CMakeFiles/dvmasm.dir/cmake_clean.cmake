@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmasm.dir/dvmasm.cpp.o"
+  "CMakeFiles/dvmasm.dir/dvmasm.cpp.o.d"
+  "dvmasm"
+  "dvmasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmdump.dir/dvmdump.cpp.o"
+  "CMakeFiles/dvmdump.dir/dvmdump.cpp.o.d"
+  "dvmdump"
+  "dvmdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/dvmgen.cpp" "tools/CMakeFiles/dvmgen.dir/dvmgen.cpp.o" "gcc" "tools/CMakeFiles/dvmgen.dir/dvmgen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/dvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dvm_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/dvm_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dvm_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

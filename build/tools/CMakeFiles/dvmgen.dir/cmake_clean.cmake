@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvmgen.dir/dvmgen.cpp.o"
+  "CMakeFiles/dvmgen.dir/dvmgen.cpp.o.d"
+  "dvmgen"
+  "dvmgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvmgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
