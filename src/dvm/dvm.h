@@ -6,11 +6,13 @@
 #ifndef SRC_DVM_DVM_H_
 #define SRC_DVM_DVM_H_
 
+#include <future>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/dvm/worker_pool.h"
 #include "src/optimizer/repartition.h"
 #include "src/proxy/proxy.h"
 #include "src/runtime/machine.h"
@@ -48,6 +50,10 @@ struct DvmServerConfig {
   SecurityPolicy policy;
   ProxyConfig proxy;
   std::string target_platform = "x86";
+  // Server-side request workers. 0 = serve synchronously on the caller's
+  // thread (the classic configuration); N > 0 starts N real threads so many
+  // clients can fetch concurrently (HandleRequestAsync).
+  size_t proxy_worker_threads = 0;
 };
 
 // The organization-wide server side: proxy + static services + policy server +
@@ -65,8 +71,21 @@ class DvmServer {
   const DvmServerConfig& config() const { return config_; }
 
   // Single point of control: installing a new policy invalidates every
-  // client's enforcement cache and the proxy's rewrite cache.
+  // client's enforcement cache and the proxy's rewrite cache (including the
+  // filter-synthesized class map — both embed the old policy's hooks).
   void UpdateSecurityPolicy(SecurityPolicy policy);
+
+  // Concurrent entry point: runs the request on the server's worker pool and
+  // returns a future. With no pool configured the request is served inline on
+  // the caller's thread and the future is already ready. Virtual-clock cost
+  // accounting is identical to HandleRequest — threads buy throughput only.
+  std::future<Result<ProxyResponse>> HandleRequestAsync(const std::string& class_name,
+                                                        const std::string& platform = "");
+
+  // Starts (or resizes) the worker pool; idempotent for an equal size. Only
+  // call while no requests are in flight.
+  void StartWorkers(size_t num_threads);
+  WorkerPool* workers() { return workers_.get(); }
 
  private:
   DvmServerConfig config_;
@@ -77,6 +96,7 @@ class DvmServer {
   SecurityServer security_server_;
   AdministrationConsole console_;
   std::unique_ptr<DvmProxy> proxy_;
+  std::unique_ptr<WorkerPool> workers_;
 };
 
 // A client VM attached to a DvmServer through a simulated link. Fetches

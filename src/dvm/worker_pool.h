@@ -1,0 +1,51 @@
+// A small fixed-size worker pool (std::thread + task queue) for the server
+// side of the DVM. Real threads are used for *throughput* — many clients
+// fetching through the proxy concurrently — while each request's cost is
+// still accounted in virtual CPU nanos, so the paper's simulated-time
+// experiments are unaffected by host parallelism.
+#ifndef SRC_DVM_WORKER_POOL_H_
+#define SRC_DVM_WORKER_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvm {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(size_t num_threads);
+  ~WorkerPool();  // drains the queue, then joins every worker
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues a task; any worker may run it. Safe from any thread.
+  void Submit(std::function<void()> task);
+  // Blocks until every submitted task has finished executing.
+  void Drain();
+
+  size_t size() const { return threads_.size(); }
+  uint64_t tasks_executed() const { return executed_.load(std::memory_order_relaxed); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / shutdown
+  std::condition_variable drain_cv_;  // Drain() waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool stopping_ = false;
+  std::atomic<uint64_t> executed_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_DVM_WORKER_POOL_H_

@@ -6,16 +6,64 @@
 namespace dvm {
 
 const ClassFile* DvmProxy::SeenEnv::Lookup(const std::string& class_name) const {
-  auto it = seen_.find(class_name);
-  if (it != seen_.end()) {
-    return it->second.get();
+  if (lock_counter_ != nullptr) {
+    lock_counter_->Add();
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = seen_.find(class_name);
+    if (it != seen_.end()) {
+      // ClassFiles are unique_ptr-held and never erased, so the pointer stays
+      // valid after the lock drops.
+      return it->second.get();
+    }
   }
   return library_->Lookup(class_name);
 }
 
 void DvmProxy::SeenEnv::Add(ClassFile cls) {
+  if (lock_counter_ != nullptr) {
+    lock_counter_->Add();
+  }
   std::string name = cls.name();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   seen_[name] = std::make_unique<ClassFile>(std::move(cls));
+}
+
+void AuditRing::Push(std::string event) {
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(event));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void AuditRing::PushAll(std::vector<std::string> events) {
+  if (events.empty()) {
+    return;
+  }
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& event : events) {
+    ring_.push_back(std::move(event));
+  }
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> AuditRing::Snapshot() const {
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::string>(ring_.begin(), ring_.end());
+}
+
+size_t AuditRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
 }
 
 DvmProxy::DvmProxy(ProxyConfig config, const ClassEnv* library_env, ClassProvider* origin)
@@ -23,8 +71,20 @@ DvmProxy::DvmProxy(ProxyConfig config, const ClassEnv* library_env, ClassProvide
       env_(library_env),
       origin_(origin),
       pipeline_(&env_),
-      cache_(config.cache_capacity_bytes),
-      signer_(config.signing_key) {}
+      cache_(config.cache_capacity_bytes, config.cache_shards),
+      signer_(config.signing_key),
+      audit_(config.audit_trail_capacity),
+      c_connection_nanos_(stats_.Counter("proxy.connection_nanos")),
+      c_parse_nanos_(stats_.Counter("proxy.parse_nanos")),
+      c_filter_nanos_(stats_.Counter("proxy.filter_nanos")),
+      c_emit_nanos_(stats_.Counter("proxy.emit_nanos")),
+      c_sign_nanos_(stats_.Counter("proxy.sign_nanos")),
+      c_coalesced_(stats_.Counter("proxy.coalesced")),
+      c_rewrites_(stats_.Counter("proxy.rewrites")),
+      c_generated_hits_(stats_.Counter("proxy.generated_hits")),
+      c_lock_acquisitions_(stats_.Counter("proxy.lock_acquisitions")) {
+  env_.SetLockCounter(&c_lock_acquisitions_);
+}
 
 void DvmProxy::AddFilter(std::unique_ptr<CodeFilter> filter) {
   pipeline_.Add(std::move(filter));
@@ -32,40 +92,91 @@ void DvmProxy::AddFilter(std::unique_ptr<CodeFilter> filter) {
 
 Result<ProxyResponse> DvmProxy::HandleRequest(const std::string& class_name,
                                               const std::string& platform) {
-  requests_served_++;
-  ProxyResponse response;
-  const std::string cache_key = class_name + "\x1f" + platform;
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  RequestContext ctx;
+  ctx.class_name = class_name;
+  ctx.platform = platform;
+  ctx.cache_key = class_name + "\x1f" + platform;
 
   if (config_.enable_cache) {
-    if (const CachedClass* cached = cache_.Get(cache_key)) {
-      response.data = cached->main_class;
-      response.extra_classes = cached->extra_classes;
-      response.cache_hit = true;
-      // Serving from the cache is cheap relative to rewriting.
-      response.cpu_nanos =
-          config_.nanos_per_hit_base + response.data.size() * config_.nanos_per_byte_cached;
-      total_cpu_nanos_ += response.cpu_nanos;
-      audit_trail_.push_back("HIT " + class_name);
-      return response;
+    for (;;) {
+      if (auto hit = TryServeFromCache(ctx)) {
+        return Commit(ctx, std::move(*hit));
+      }
+      if (auto generated = TryServeGenerated(ctx)) {
+        return Commit(ctx, std::move(*generated));
+      }
+      if (flights_.Acquire(ctx.cache_key)) {
+        break;  // this request is now the key's rewrite leader
+      }
+      // Waited out another request rewriting the same key; re-check the
+      // cache. If the leader failed, loop back and become the leader.
+      ctx.coalesced = true;
     }
+    SingleFlightLease lease(&flights_, ctx.cache_key);
+    // A prior leader may have filled the cache between our miss and the
+    // acquire; serve that instead of rewriting again.
+    if (auto hit = TryServeFromCache(ctx)) {
+      return Commit(ctx, std::move(*hit));
+    }
+    DVM_ASSIGN_OR_RETURN(ProxyResponse response, Rewrite(ctx));
+    return Commit(ctx, std::move(response));
   }
 
+  if (auto generated = TryServeGenerated(ctx)) {
+    return Commit(ctx, std::move(*generated));
+  }
+  DVM_ASSIGN_OR_RETURN(ProxyResponse response, Rewrite(ctx));
+  return Commit(ctx, std::move(response));
+}
+
+std::optional<ProxyResponse> DvmProxy::TryServeFromCache(RequestContext& ctx) {
+  std::optional<CachedClass> cached = cache_.Get(ctx.cache_key);
+  if (!cached.has_value()) {
+    return std::nullopt;
+  }
+  ProxyResponse response;
+  response.data = std::move(cached->main_class);
+  response.extra_classes = std::move(cached->extra_classes);
+  response.cache_hit = true;
+  ctx.cache_hit = true;
+  // Serving from the cache is cheap relative to rewriting.
+  ctx.connection_nanos =
+      config_.nanos_per_hit_base + response.data.size() * config_.nanos_per_byte_cached;
+  ctx.audit_events.push_back("HIT " + ctx.class_name);
+  return response;
+}
+
+std::optional<ProxyResponse> DvmProxy::TryServeGenerated(RequestContext& ctx) {
   // Filter-synthesized classes (cold halves from repartitioning) are served
   // directly; they already went through the pipeline as part of their parent.
-  if (auto it = generated_.find(class_name); it != generated_.end()) {
-    response.data = it->second;
-    response.cpu_nanos =
-        config_.nanos_per_hit_base + response.data.size() * config_.nanos_per_byte_cached;
-    total_cpu_nanos_ += response.cpu_nanos;
-    audit_trail_.push_back("GEN " + class_name);
-    return response;
+  c_lock_acquisitions_.Add();
+  std::lock_guard<std::mutex> lock(generated_mu_);
+  auto it = generated_.find(ctx.class_name);
+  if (it == generated_.end()) {
+    return std::nullopt;
   }
+  ProxyResponse response;
+  response.data = it->second;
+  ctx.connection_nanos =
+      config_.nanos_per_hit_base + response.data.size() * config_.nanos_per_byte_cached;
+  ctx.audit_events.push_back("GEN " + ctx.class_name);
+  c_generated_hits_.Add();
+  return response;
+}
 
-  DVM_ASSIGN_OR_RETURN(Bytes origin_bytes, origin_->FetchClass(class_name));
+Result<ProxyResponse> DvmProxy::Rewrite(RequestContext& ctx) {
+  // The stacked filters keep per-filter statistics, and the observer feeds
+  // the (unsynchronized) administration console, so rewriting is one critical
+  // section. Hit/generated traffic never takes this lock.
+  c_lock_acquisitions_.Add();
+  std::lock_guard<std::mutex> lock(rewrite_mu_);
+
+  ProxyResponse response;
+  DVM_ASSIGN_OR_RETURN(Bytes origin_bytes, origin_->FetchClass(ctx.class_name));
   response.origin_bytes = origin_bytes.size();
-
-  uint64_t cpu =
-      config_.nanos_per_request_base + origin_bytes.size() * config_.nanos_per_byte_parse;
+  ctx.connection_nanos = config_.nanos_per_request_base;
+  ctx.parse_nanos = origin_bytes.size() * config_.nanos_per_byte_parse;
 
   // Parse once.
   DVM_ASSIGN_OR_RETURN(ClassFile parsed, ReadClassFile(origin_bytes));
@@ -73,39 +184,70 @@ Result<ProxyResponse> DvmProxy::HandleRequest(const std::string& class_name,
   env_.Add(parsed);
 
   // Run the stacked static services.
-  DVM_ASSIGN_OR_RETURN(PipelineResult result, pipeline_.Run(std::move(parsed), platform));
-  cpu += result.checks_performed * config_.nanos_per_check;
+  DVM_ASSIGN_OR_RETURN(PipelineResult result, pipeline_.Run(std::move(parsed), ctx.platform));
+  ctx.filter_nanos = result.checks_performed * config_.nanos_per_check;
 
   // Generate (and optionally sign) the output binary once.
   if (config_.sign_output) {
     DVM_ASSIGN_OR_RETURN(ClassFile rewritten, ReadClassFile(result.class_bytes));
     result.class_bytes = signer_.SignedBytes(std::move(rewritten));
+    uint64_t signed_bytes = result.class_bytes.size();
     for (auto& [name, data] : result.extra_classes) {
       DVM_ASSIGN_OR_RETURN(ClassFile extra, ReadClassFile(data));
       data = signer_.SignedBytes(std::move(extra));
+      signed_bytes += data.size();
     }
+    ctx.sign_nanos = signed_bytes * config_.nanos_per_byte_sign;
   }
-  cpu += result.class_bytes.size() * config_.nanos_per_byte_emit;
+  ctx.emit_nanos = result.class_bytes.size() * config_.nanos_per_byte_emit;
 
-  for (const auto& [name, data] : result.extra_classes) {
-    generated_[name] = data;
+  if (!result.extra_classes.empty()) {
+    c_lock_acquisitions_.Add();
+    std::lock_guard<std::mutex> generated_lock(generated_mu_);
+    for (const auto& [name, data] : result.extra_classes) {
+      generated_[name] = data;
+    }
   }
   response.data = result.class_bytes;
   response.extra_classes = result.extra_classes;
-  response.cpu_nanos = cpu;
-  total_cpu_nanos_ += cpu;
-  audit_trail_.push_back((result.modified ? "REWRITE " : "PASS ") + class_name);
+  ctx.audit_events.push_back((result.modified ? "REWRITE " : "PASS ") + ctx.class_name);
+  c_rewrites_.Add();
 
   if (config_.enable_cache) {
     CachedClass entry;
     entry.main_class = response.data;
     entry.extra_classes = response.extra_classes;
-    cache_.Put(cache_key, std::move(entry));
+    cache_.Put(ctx.cache_key, std::move(entry));
   }
   if (served_observer_) {
-    served_observer_(class_name, response.data);
+    served_observer_(ctx.class_name, response.data);
   }
   return response;
+}
+
+ProxyResponse DvmProxy::Commit(RequestContext& ctx, ProxyResponse response) {
+  response.cpu_nanos = ctx.TotalNanos();
+  response.coalesced = ctx.coalesced;
+  total_cpu_nanos_.fetch_add(response.cpu_nanos, std::memory_order_relaxed);
+  c_connection_nanos_.Add(ctx.connection_nanos);
+  c_parse_nanos_.Add(ctx.parse_nanos);
+  c_filter_nanos_.Add(ctx.filter_nanos);
+  c_emit_nanos_.Add(ctx.emit_nanos);
+  c_sign_nanos_.Add(ctx.sign_nanos);
+  if (ctx.coalesced) {
+    c_coalesced_.Add();
+  }
+  audit_.PushAll(std::move(ctx.audit_events));
+  return response;
+}
+
+void DvmProxy::InvalidateCache() {
+  cache_.Clear();
+  // Synthesized classes were rewritten under the old service configuration
+  // too; dropping only the LRU cache used to leave them stale.
+  c_lock_acquisitions_.Add();
+  std::lock_guard<std::mutex> lock(generated_mu_);
+  generated_.clear();
 }
 
 size_t DvmProxy::MemoryInUse(size_t inflight_requests) const {

@@ -4,13 +4,25 @@
 // binary once, optionally signs it, caches the result, and logs an audit
 // trail. CPU time per request is accounted so the scaling experiment
 // (Figure 10) can queue requests on a simulated single-CPU server.
+//
+// Concurrency model (see DESIGN.md "Concurrent proxy architecture"):
+// HandleRequest is safe to call from many threads. Per-request state lives in
+// an explicit RequestContext rather than proxy members; the rewrite cache is
+// sharded; concurrent misses on one (class, platform) key are coalesced so
+// the filter pipeline runs once; and because the stacked filters keep their
+// own statistics, the rewrite stage itself is a serialized critical section —
+// cache hits and generated-class serves proceed in parallel around it.
 #ifndef SRC_PROXY_PROXY_H_
 #define SRC_PROXY_PROXY_H_
 
+#include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +30,7 @@
 #include "src/proxy/signature.h"
 #include "src/rewrite/filter.h"
 #include "src/runtime/class_registry.h"
+#include "src/support/stats.h"
 #include "src/verifier/class_env.h"
 
 namespace dvm {
@@ -25,8 +38,12 @@ namespace dvm {
 struct ProxyConfig {
   bool enable_cache = true;
   size_t cache_capacity_bytes = 48 * 1024 * 1024;  // of the host's 64 MB
+  size_t cache_shards = RewriteCache::kDefaultShards;
   bool sign_output = false;
   std::string signing_key = "dvm-organization-key";
+  // The audit trail is a capped ring (oldest entries dropped, with a counter)
+  // so a long-lived proxy does not grow without bound.
+  size_t audit_trail_capacity = 4096;
 
   // CPU cost model for the proxy host (200 MHz PentiumPro): parsing dominates,
   // then per-check service work, then code generation. Calibrated so an
@@ -34,6 +51,9 @@ struct ProxyConfig {
   uint64_t nanos_per_request_base = 2'500'000;  // HTTP handling, per request
   uint64_t nanos_per_byte_parse = 9'000;
   uint64_t nanos_per_byte_emit = 3'000;
+  // Per signed byte when sign_output is on (default 0: signing cost is folded
+  // into the emit stage's post-signature serialized size, as calibrated).
+  uint64_t nanos_per_byte_sign = 0;
   uint64_t nanos_per_check = 60;
   // Cache hits: connection handling plus a cheap read of the stored rewrite.
   uint64_t nanos_per_hit_base = 600'000;
@@ -48,8 +68,63 @@ struct ProxyResponse {
   Bytes data;
   std::vector<std::pair<std::string, Bytes>> extra_classes;  // e.g. $cold splits
   bool cache_hit = false;
+  // True when this request blocked behind another request already rewriting
+  // the same (class, platform) key and was then served its result.
+  bool coalesced = false;
   uint64_t cpu_nanos = 0;      // proxy CPU consumed by this request
   uint64_t origin_bytes = 0;   // bytes fetched from the origin server
+};
+
+// Per-request state, threaded explicitly through the request path instead of
+// being mutated on the proxy mid-flight (which is what made the old
+// single-threaded HandleRequest impossible to run concurrently). The
+// virtual-CPU breakdown sums to ProxyResponse::cpu_nanos.
+struct RequestContext {
+  std::string class_name;
+  std::string platform;
+  std::string cache_key;
+
+  // Virtual-CPU timing breakdown per stage of the static pipeline.
+  uint64_t connection_nanos = 0;  // request handling / cached read
+  uint64_t parse_nanos = 0;
+  uint64_t filter_nanos = 0;
+  uint64_t emit_nanos = 0;
+  uint64_t sign_nanos = 0;
+
+  bool cache_hit = false;
+  bool coalesced = false;
+
+  // Audit events produced while serving; flushed to the proxy's audit ring in
+  // one locked append when the request commits.
+  std::vector<std::string> audit_events;
+
+  uint64_t TotalNanos() const {
+    return connection_nanos + parse_nanos + filter_nanos + emit_nanos + sign_nanos;
+  }
+};
+
+// Bounded audit log: a capped ring buffer that counts what it drops.
+class AuditRing {
+ public:
+  explicit AuditRing(size_t capacity) : capacity_(capacity) {}
+
+  void Push(std::string event);
+  void PushAll(std::vector<std::string> events);
+  // Oldest → newest.
+  std::vector<std::string> Snapshot() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t lock_acquisitions() const {
+    return lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  mutable std::atomic<uint64_t> lock_acquisitions_{0};
+  std::deque<std::string> ring_;
+  std::atomic<uint64_t> dropped_{0};
 };
 
 class DvmProxy {
@@ -62,12 +137,14 @@ class DvmProxy {
   DvmProxy(const DvmProxy&) = delete;
   DvmProxy& operator=(const DvmProxy&) = delete;
 
-  // Adds a static service to the pipeline (order = stacking order).
+  // Adds a static service to the pipeline (order = stacking order). Not
+  // thread-safe; configure the pipeline before serving requests.
   void AddFilter(std::unique_ptr<CodeFilter> filter);
 
   // Invoked for every class version served from the pipeline (not for cache
   // hits) with the served bytes; the administration console uses it to keep
-  // the organization's code-version inventory.
+  // the organization's code-version inventory. Called under the rewrite
+  // critical section, so one invocation at a time.
   void SetServedObserver(std::function<void(const std::string&, const Bytes&)> observer) {
     served_observer_ = std::move(observer);
   }
@@ -75,18 +152,28 @@ class DvmProxy {
   // `platform` is the requesting client's native format (from its handshake);
   // the cache is keyed on (class, platform) so an x86 client and an Alpha
   // client each receive code compiled for their own architecture.
+  // Safe to call concurrently from many worker threads.
   Result<ProxyResponse> HandleRequest(const std::string& class_name,
                                       const std::string& platform = "");
 
-  // Drops all rewritten state; used when the service configuration (e.g. the
-  // security policy) changes and classes must be re-instrumented.
-  void InvalidateCache() { cache_.Clear(); }
+  // Drops all rewritten state — the LRU cache AND the filter-synthesized
+  // class map — used when the service configuration (e.g. the security
+  // policy) changes and classes must be re-instrumented. Synthesized classes
+  // embed the old policy's hooks too, so serving them stale was a bug.
+  void InvalidateCache();
 
-  const std::vector<std::string>& audit_trail() const { return audit_trail_; }
+  std::vector<std::string> audit_trail() const { return audit_.Snapshot(); }
+  const AuditRing& audit_ring() const { return audit_; }
   const RewriteCache& cache() const { return cache_; }
-  uint64_t requests_served() const { return requests_served_; }
-  uint64_t total_cpu_nanos() const { return total_cpu_nanos_; }
+  uint64_t requests_served() const { return requests_served_.load(std::memory_order_relaxed); }
+  uint64_t total_cpu_nanos() const { return total_cpu_nanos_.load(std::memory_order_relaxed); }
   const CodeSigner& signer() const { return signer_; }
+  // Requests that blocked behind an identical in-flight rewrite.
+  uint64_t coalesced_requests() const { return flights_.coalesced_waits(); }
+  // Named counters: proxy.{connection,parse,filter,emit,sign}_nanos,
+  // proxy.coalesced, proxy.rewrites, proxy.generated_hits,
+  // proxy.lock_acquisitions (audit + generated + env + pipeline locks).
+  const StatsRegistry& stats() const { return stats_; }
 
   // Memory in use with `inflight` concurrent requests: cache + per-request
   // workspaces. The Figure 10 degradation appears when this exceeds
@@ -97,16 +184,31 @@ class DvmProxy {
 
  private:
   // Environment the verifier sees: library + every class this proxy parsed.
+  // Reader/writer locked: filters Lookup concurrently, the rewrite path Adds.
   class SeenEnv : public ClassEnv {
    public:
     explicit SeenEnv(const ClassEnv* library) : library_(library) {}
     const ClassFile* Lookup(const std::string& class_name) const override;
     void Add(ClassFile cls);
+    void SetLockCounter(StatCounter* counter) { lock_counter_ = counter; }
 
    private:
     const ClassEnv* library_;
+    mutable std::shared_mutex mu_;
+    StatCounter* lock_counter_ = nullptr;
     std::map<std::string, std::unique_ptr<ClassFile>> seen_;
   };
+
+  // Serves a cache hit, filling the context's timing/audit state.
+  std::optional<ProxyResponse> TryServeFromCache(RequestContext& ctx);
+  // Serves a filter-synthesized class (e.g. a "$cold" split).
+  std::optional<ProxyResponse> TryServeGenerated(RequestContext& ctx);
+  // The miss path: fetch origin bytes, parse, run the stacked services, emit,
+  // sign, publish synthesized classes, and populate the cache.
+  Result<ProxyResponse> Rewrite(RequestContext& ctx);
+  // Commits accounting (stage counters, audit ring, CPU totals) and stamps
+  // the context's flags onto the response.
+  ProxyResponse Commit(RequestContext& ctx, ProxyResponse response);
 
   ProxyConfig config_;
   SeenEnv env_;
@@ -114,13 +216,32 @@ class DvmProxy {
   FilterPipeline pipeline_;
   RewriteCache cache_;
   CodeSigner signer_;
-  std::vector<std::string> audit_trail_;
+  AuditRing audit_;
+  SingleFlightGroup flights_;
+
+  // The stacked filters carry their own statistics (verifier counts, profile
+  // instrumentation totals, ...), so pipeline execution — and the observer
+  // callback fed from it — is one critical section. Hits bypass this lock.
+  std::mutex rewrite_mu_;
   // Classes synthesized by filters (e.g. "$cold" splits): servable on demand
   // without going to the origin, independent of the LRU cache.
+  std::mutex generated_mu_;
   std::map<std::string, Bytes> generated_;
+
   std::function<void(const std::string&, const Bytes&)> served_observer_;
-  uint64_t requests_served_ = 0;
-  uint64_t total_cpu_nanos_ = 0;
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> total_cpu_nanos_{0};
+
+  StatsRegistry stats_;
+  StatCounter& c_connection_nanos_;
+  StatCounter& c_parse_nanos_;
+  StatCounter& c_filter_nanos_;
+  StatCounter& c_emit_nanos_;
+  StatCounter& c_sign_nanos_;
+  StatCounter& c_coalesced_;
+  StatCounter& c_rewrites_;
+  StatCounter& c_generated_hits_;
+  StatCounter& c_lock_acquisitions_;
 };
 
 }  // namespace dvm

@@ -1,9 +1,18 @@
 // Lightweight statistics accumulators for the benchmark harnesses: running
-// mean/stddev (Welford) and percentile extraction over stored samples.
+// mean/stddev (Welford) and percentile extraction over stored samples, plus
+// thread-safe named counters (StatsRegistry) that the concurrent proxy request
+// path uses to surface per-stage work, coalescing, and lock traffic.
 #ifndef SRC_SUPPORT_STATS_H_
 #define SRC_SUPPORT_STATS_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace dvm {
@@ -45,6 +54,34 @@ class SampleSet {
 
  private:
   std::vector<double> samples_;
+};
+
+// A single monotonically increasing counter, safe to bump from any thread.
+class StatCounter {
+ public:
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Registry of named counters. Counter() returns a reference that stays valid
+// for the registry's lifetime, so hot paths resolve a counter once and then
+// bump it lock-free; only creation and snapshotting take the registry mutex.
+class StatsRegistry {
+ public:
+  StatCounter& Counter(const std::string& name);
+  // 0 when the counter does not exist.
+  uint64_t Value(const std::string& name) const;
+  // Name-sorted (map order) view of every counter.
+  std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<StatCounter>> counters_;
 };
 
 }  // namespace dvm

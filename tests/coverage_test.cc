@@ -220,7 +220,7 @@ TEST(ProviderEdgeTest, RewriteCacheClear) {
   cache.Clear();
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.size_bytes(), 0u);
-  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_FALSE(cache.Get("a").has_value());
 }
 
 TEST(ProviderEdgeTest, ResigningReplacesOldSignature) {

@@ -1,0 +1,308 @@
+// Multi-threaded coverage for the concurrent proxy request path: the sharded
+// rewrite cache under mixed hit/miss/invalidate traffic, single-flight miss
+// coalescing (pipeline runs exactly once per key), the bounded audit ring,
+// the generated-class invalidation regression, and the server worker pool.
+// The CI ThreadSanitizer job runs this binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/bytecode/builder.h"
+#include "src/dvm/dvm.h"
+#include "src/policy/xml.h"
+#include "src/proxy/proxy.h"
+#include "src/runtime/syslib.h"
+#include "src/services/verify_service.h"
+
+namespace dvm {
+namespace {
+
+ClassFile MustBuild(ClassBuilder& cb) {
+  auto built = cb.Build();
+  EXPECT_TRUE(built.ok()) << (built.ok() ? "" : built.error().ToString());
+  return std::move(built).value();
+}
+
+ClassFile TrivialApp(const std::string& name) {
+  ClassBuilder cb(name, "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kPublic | AccessFlags::kStatic, "main", "()V");
+  m.PushString("ran").InvokeStatic("java/lang/System", "println", "(Ljava/lang/String;)V");
+  m.Emit(Op::kReturn);
+  return MustBuild(cb);
+}
+
+// Manually opened latch: lets a test hold the filter pipeline inside Apply()
+// so concurrent requests for the same key demonstrably pile up behind the
+// single-flight leader.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> entered{0};
+
+  void WaitOpen() {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+// Counts pipeline executions per class; optionally blocks on a gate.
+class CountingFilter : public CodeFilter {
+ public:
+  explicit CountingFilter(Gate* gate = nullptr) : gate_(gate) {}
+  std::string name() const override { return "counting"; }
+
+  Result<FilterOutcome> Apply(ClassFile& cls, const FilterContext& ctx) override {
+    runs_.fetch_add(1);
+    if (gate_ != nullptr) {
+      gate_->WaitOpen();
+    }
+    FilterOutcome outcome;
+    outcome.checks_performed = 1;
+    return outcome;
+  }
+
+  int runs() const { return runs_.load(); }
+
+ private:
+  Gate* gate_;
+  std::atomic<int> runs_{0};
+};
+
+// Synthesizes a "$cold" companion class for one parent, like the
+// repartitioning optimizer does.
+class SplitterFilter : public CodeFilter {
+ public:
+  explicit SplitterFilter(std::string parent) : parent_(std::move(parent)) {}
+  std::string name() const override { return "splitter"; }
+
+  Result<FilterOutcome> Apply(ClassFile& cls, const FilterContext& ctx) override {
+    FilterOutcome outcome;
+    if (cls.name() == parent_) {
+      ClassBuilder cb(parent_ + "$cold", "java/lang/Object");
+      outcome.extra_classes.push_back(MustBuild(cb));
+      outcome.modified = true;
+      outcome.checks_performed = 1;
+    }
+    return outcome;
+  }
+
+ private:
+  std::string parent_;
+};
+
+class ProxyConcurrencyTest : public ::testing::Test {
+ protected:
+  ProxyConcurrencyTest() : library_(BuildSystemLibrary()) {
+    for (const auto& cls : library_) {
+      library_env_.Add(&cls);
+    }
+    for (int i = 0; i < kNumClasses; i++) {
+      origin_.AddClassFile(TrivialApp(ClassName(i)));
+    }
+  }
+
+  static std::string ClassName(int i) { return "app/Cls" + std::to_string(i); }
+
+  static constexpr int kNumClasses = 16;
+  std::vector<ClassFile> library_;
+  MapClassEnv library_env_;
+  MapClassProvider origin_;
+};
+
+TEST_F(ProxyConcurrencyTest, SingleFlightRunsPipelineOncePerKey) {
+  DvmProxy proxy(ProxyConfig{}, &library_env_, &origin_);
+  Gate gate;
+  auto counting = std::make_unique<CountingFilter>(&gate);
+  CountingFilter* counter = counting.get();
+  proxy.AddFilter(std::move(counting));
+
+  // Leader enters the pipeline and parks on the gate.
+  std::thread leader([&] { ASSERT_TRUE(proxy.HandleRequest(ClassName(0)).ok()); });
+  while (gate.entered.load() == 0) {
+    std::this_thread::yield();
+  }
+
+  // Followers on the same key must coalesce behind the in-flight rewrite.
+  constexpr int kFollowers = 7;
+  std::vector<std::thread> followers;
+  std::atomic<int> follower_hits{0};
+  for (int i = 0; i < kFollowers; i++) {
+    followers.emplace_back([&] {
+      auto response = proxy.HandleRequest(ClassName(0));
+      ASSERT_TRUE(response.ok());
+      if (response->cache_hit) {
+        follower_hits.fetch_add(1);
+      }
+    });
+  }
+  // Give the followers time to reach the single-flight wait, then release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  gate.Open();
+  leader.join();
+  for (auto& t : followers) {
+    t.join();
+  }
+
+  // The expensive pipeline ran exactly once; everyone else was served the
+  // leader's result from the cache.
+  EXPECT_EQ(counter->runs(), 1);
+  EXPECT_EQ(follower_hits.load(), kFollowers);
+  EXPECT_GE(proxy.coalesced_requests(), 1u);
+  EXPECT_GE(proxy.stats().Value("proxy.coalesced"), 1u);
+  EXPECT_EQ(proxy.stats().Value("proxy.rewrites"), 1u);
+}
+
+TEST_F(ProxyConcurrencyTest, StressMixedHitMissInvalidateStaysWithinBudget) {
+  ProxyConfig config;
+  config.cache_capacity_bytes = 16 * 1024;
+  config.cache_shards = 8;
+  config.audit_trail_capacity = 256;
+  DvmProxy proxy(config, &library_env_, &origin_);
+  auto counting = std::make_unique<CountingFilter>();
+  proxy.AddFilter(std::move(counting));
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; i++) {
+        int pick = (i * 31 + t * 7) % kNumClasses;
+        auto response = proxy.HandleRequest(ClassName(pick));
+        if (!response.ok()) {
+          failures.fetch_add(1);
+        }
+        if (t == 0 && i % 67 == 66) {
+          proxy.InvalidateCache();
+        }
+        if (i % 50 == 0) {
+          // Concurrent readers of the aggregated accounting must be safe.
+          (void)proxy.MemoryInUse(kThreads);
+          (void)proxy.audit_trail();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(proxy.requests_served(), static_cast<uint64_t>(kThreads * kOpsPerThread));
+  // The sharded cache never exceeds its byte budget, globally or per shard.
+  EXPECT_LE(proxy.cache().size_bytes(), config.cache_capacity_bytes);
+  for (const auto& shard : proxy.cache().PerShardStats()) {
+    EXPECT_LE(shard.bytes, config.cache_capacity_bytes / config.cache_shards);
+  }
+  // The audit ring respected its cap.
+  EXPECT_LE(proxy.audit_trail().size(), config.audit_trail_capacity);
+  // Accounting is consistent: every request either hit, coalesced, was
+  // rewritten, or was re-served after an invalidation.
+  EXPECT_GT(proxy.cache().hits(), 0u);
+  EXPECT_GT(proxy.stats().Value("proxy.rewrites"), 0u);
+  EXPECT_GT(proxy.stats().Value("proxy.lock_acquisitions"), 0u);
+}
+
+TEST_F(ProxyConcurrencyTest, InvalidateCacheDropsGeneratedClasses) {
+  DvmProxy proxy(ProxyConfig{}, &library_env_, &origin_);
+  proxy.AddFilter(std::make_unique<SplitterFilter>(ClassName(0)));
+
+  // The parent's rewrite publishes the synthesized cold half.
+  auto parent = proxy.HandleRequest(ClassName(0));
+  ASSERT_TRUE(parent.ok());
+  ASSERT_EQ(parent->extra_classes.size(), 1u);
+  ASSERT_TRUE(proxy.HandleRequest(ClassName(0) + "$cold").ok());
+
+  // Regression: InvalidateCache used to clear only the LRU cache, so the
+  // synthesized class kept being served under the old service configuration.
+  proxy.InvalidateCache();
+  auto stale = proxy.HandleRequest(ClassName(0) + "$cold");
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error().code, ErrorCode::kNotFound);
+
+  // Re-rewriting the parent republishes the split.
+  ASSERT_TRUE(proxy.HandleRequest(ClassName(0)).ok());
+  EXPECT_TRUE(proxy.HandleRequest(ClassName(0) + "$cold").ok());
+}
+
+TEST_F(ProxyConcurrencyTest, AuditRingIsBoundedAndCountsDrops) {
+  ProxyConfig config;
+  config.audit_trail_capacity = 8;
+  DvmProxy proxy(config, &library_env_, &origin_);
+
+  for (int i = 0; i < 20; i++) {
+    ASSERT_TRUE(proxy.HandleRequest(ClassName(i % kNumClasses)).ok());
+  }
+  EXPECT_LE(proxy.audit_trail().size(), 8u);
+  EXPECT_EQ(proxy.audit_ring().dropped(), 12u);
+  // The ring keeps the newest entries.
+  std::vector<std::string> trail = proxy.audit_trail();
+  ASSERT_FALSE(trail.empty());
+  EXPECT_EQ(trail.back(), "HIT " + ClassName(19 % kNumClasses));
+}
+
+TEST(DvmServerAsyncTest, WorkerPoolServesManyClientsConcurrently) {
+  MapClassProvider origin;
+  for (int i = 0; i < 8; i++) {
+    origin.AddClassFile(TrivialApp("app/Async" + std::to_string(i)));
+  }
+  DvmServerConfig config;
+  config.policy = *ParseSecurityPolicy(R"(
+      <policy version="1">
+        <domain sid="user" code="app/*"/>
+        <allow sid="user" operation="*" target="*"/>
+      </policy>)");
+  config.proxy_worker_threads = 4;
+  DvmServer server(std::move(config), &origin);
+  ASSERT_NE(server.workers(), nullptr);
+  EXPECT_EQ(server.workers()->size(), 4u);
+
+  std::vector<std::future<Result<ProxyResponse>>> futures;
+  constexpr int kRounds = 4;
+  for (int round = 0; round < kRounds; round++) {
+    for (int i = 0; i < 8; i++) {
+      futures.push_back(server.HandleRequestAsync("app/Async" + std::to_string(i)));
+    }
+  }
+  int hits = 0;
+  for (auto& f : futures) {
+    auto response = f.get();
+    ASSERT_TRUE(response.ok()) << response.error().ToString();
+    hits += response->cache_hit ? 1 : 0;
+  }
+  EXPECT_EQ(server.proxy().requests_served(), static_cast<uint64_t>(futures.size()));
+  // f.get() returns when the promise is set, which precedes the worker's own
+  // bookkeeping; Drain() waits for the pool to go quiescent.
+  server.workers()->Drain();
+  EXPECT_EQ(server.workers()->tasks_executed(), futures.size());
+  // Every class was rewritten exactly once; every other response was served
+  // from the cache (directly or after coalescing onto the in-flight rewrite).
+  EXPECT_EQ(server.proxy().stats().Value("proxy.rewrites"), 8u);
+  EXPECT_EQ(hits, static_cast<int>(futures.size()) - 8);
+
+  // The synchronous fallback (no pool) still works and returns ready futures.
+  server.StartWorkers(0);
+  EXPECT_EQ(server.workers(), nullptr);
+  auto inline_response = server.HandleRequestAsync("app/Async0").get();
+  ASSERT_TRUE(inline_response.ok());
+  EXPECT_TRUE(inline_response->cache_hit);
+}
+
+}  // namespace
+}  // namespace dvm

@@ -60,30 +60,46 @@ TEST(CodeSignerTest, RejectsUnsignedAndWrongKey) {
 
 TEST(RewriteCacheTest, HitMissAccounting) {
   RewriteCache cache(1 << 20);
-  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_FALSE(cache.Get("a").has_value());
   cache.Put("a", CachedClass{Bytes{1, 2, 3}, {}});
-  const CachedClass* hit = cache.Get("a");
-  ASSERT_NE(hit, nullptr);
+  std::optional<CachedClass> hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->main_class, (Bytes{1, 2, 3}));
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
 }
 
+// One shard gives the classic global LRU order, which this test pins down.
 TEST(RewriteCacheTest, EvictsLruUnderPressure) {
-  RewriteCache cache(400);
+  RewriteCache cache(400, /*num_shards=*/1);
   cache.Put("a", CachedClass{Bytes(100, 0), {}});
   cache.Put("b", CachedClass{Bytes(100, 0), {}});
-  ASSERT_NE(cache.Get("a"), nullptr);  // refresh a
+  ASSERT_TRUE(cache.Get("a").has_value());  // refresh a
   cache.Put("c", CachedClass{Bytes(100, 0), {}});  // must evict b (LRU)
-  EXPECT_NE(cache.Get("a"), nullptr);
-  EXPECT_EQ(cache.Get("b"), nullptr);
-  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
 }
 
 TEST(RewriteCacheTest, OversizeEntriesAreNotCached) {
-  RewriteCache cache(100);
+  RewriteCache cache(100, /*num_shards=*/1);
   cache.Put("big", CachedClass{Bytes(500, 0), {}});
   EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(RewriteCacheTest, ShardedKeepsEveryShardWithinItsBudget) {
+  RewriteCache cache(8 * 400, /*num_shards=*/8);
+  for (int i = 0; i < 200; i++) {
+    cache.Put("cls/" + std::to_string(i), CachedClass{Bytes(100, 0), {}});
+  }
+  EXPECT_LE(cache.size_bytes(), 8u * 400u);
+  size_t shard_entries = 0;
+  for (const auto& shard : cache.PerShardStats()) {
+    EXPECT_LE(shard.bytes, 400u);
+    shard_entries += shard.entries;
+  }
+  EXPECT_EQ(shard_entries, cache.entries());
+  EXPECT_GT(cache.lock_acquisitions(), 0u);
 }
 
 TEST(RewriteCacheTest, ReplacementUpdatesBytes) {
