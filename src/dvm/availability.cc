@@ -1,0 +1,50 @@
+#include "src/dvm/availability.h"
+
+namespace dvm {
+
+const char* ServiceClassName(ServiceClass service) {
+  switch (service) {
+    case ServiceClass::kVerification:
+      return "verification";
+    case ServiceClass::kSecurity:
+      return "security";
+    case ServiceClass::kCompilation:
+      return "compilation";
+    case ServiceClass::kOptimization:
+      return "optimization";
+    case ServiceClass::kMonitoring:
+      return "monitoring";
+    case ServiceClass::kProfiling:
+      return "profiling";
+  }
+  return "unknown";
+}
+
+Status AvailabilityPolicy::SetMode(ServiceClass service, AvailabilityMode mode) {
+  if (mode == AvailabilityMode::kFailOpen && MustFailClosed(service)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 std::string(ServiceClassName(service)) + " service must fail closed"};
+  }
+  modes_[service] = mode;
+  return Status::Ok();
+}
+
+AvailabilityMode AvailabilityPolicy::ModeFor(ServiceClass service) const {
+  if (MustFailClosed(service)) {
+    return AvailabilityMode::kFailClosed;
+  }
+  auto it = modes_.find(service);
+  return it != modes_.end() ? it->second : AvailabilityMode::kFailClosed;
+}
+
+AvailabilityMode AvailabilityPolicy::EffectiveMode(
+    const std::vector<ServiceClass>& required) const {
+  for (ServiceClass service : required) {
+    if (ModeFor(service) == AvailabilityMode::kFailClosed) {
+      return AvailabilityMode::kFailClosed;
+    }
+  }
+  return AvailabilityMode::kFailOpen;
+}
+
+}  // namespace dvm

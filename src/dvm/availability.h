@@ -1,0 +1,62 @@
+// Per-service availability policy: what a client does when every replica of
+// the centralized services is unreachable. Two choices exist (cf. Malkhi &
+// Reiter's remote playground, which faces the same trusted-intermediary
+// availability problem): fail closed (no code runs until the service returns)
+// or fail open (degraded direct fetch, skipping the service).
+//
+// Safety-critical services are pinned: verification and security enforcement
+// MUST fail closed — unverified or un-instrumented code never runs — and the
+// policy object refuses to configure them open. Monitoring and profiling are
+// observability-only, so a deployment may declare them fail-open and keep
+// serving (uninstrumented) code through an outage.
+#ifndef SRC_DVM_AVAILABILITY_H_
+#define SRC_DVM_AVAILABILITY_H_
+
+#include <map>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace dvm {
+
+// The service components a proxy pipeline can provide (paper Figure 2).
+enum class ServiceClass {
+  kVerification,
+  kSecurity,
+  kCompilation,
+  kOptimization,
+  kMonitoring,
+  kProfiling,
+};
+
+enum class AvailabilityMode {
+  kFailClosed,  // outage => typed kUnavailable error, no code runs
+  kFailOpen,    // outage => degraded direct fetch without the service
+};
+
+const char* ServiceClassName(ServiceClass service);
+
+class AvailabilityPolicy {
+ public:
+  // Verification and security may never fail open.
+  static bool MustFailClosed(ServiceClass service) {
+    return service == ServiceClass::kVerification || service == ServiceClass::kSecurity;
+  }
+
+  // Refuses (kInvalidArgument) attempts to open a pinned service.
+  Status SetMode(ServiceClass service, AvailabilityMode mode);
+
+  // Unconfigured services default to fail-closed (the safe direction).
+  AvailabilityMode ModeFor(ServiceClass service) const;
+
+  // A fetch that depends on `required` services fails closed if ANY of them
+  // does: the strictest service wins.
+  AvailabilityMode EffectiveMode(const std::vector<ServiceClass>& required) const;
+
+ private:
+  std::map<ServiceClass, AvailabilityMode> modes_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_DVM_AVAILABILITY_H_

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/dvm/availability.h"
 #include "src/dvm/worker_pool.h"
 #include "src/optimizer/repartition.h"
 #include "src/proxy/proxy.h"
@@ -49,6 +50,11 @@ struct DvmServerConfig {
 
   SecurityPolicy policy;
   ProxyConfig proxy;
+  // Organization-wide outage behavior per service class (fail-closed vs
+  // fail-open). Verification and security are structurally pinned closed;
+  // monitoring/profiling-only deployments may opt open. Redirecting clients
+  // copy this into their RedirectConfig.
+  AvailabilityPolicy availability;
   std::string target_platform = "x86";
   // Server-side request workers. 0 = serve synchronously on the caller's
   // thread (the classic configuration); N > 0 starts N real threads so many

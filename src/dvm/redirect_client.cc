@@ -1,11 +1,30 @@
 #include "src/dvm/redirect_client.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/services/verify_service.h"
 #include "src/support/hash.h"
 
 namespace dvm {
+
+namespace {
+
+// Signature-verification work on the client (keyed digest over the class).
+constexpr uint64_t kSignatureCheckNanosPerByte = 35;
+// Size of a class-request message (headers + name), for failed round trips.
+constexpr uint64_t kRequestMessageBytes = 256;
+// How long a timeout keeps a replica out of a client's candidate rotation.
+constexpr SimTime kReplicaAvoidTtl = 2 * kSecond;
+
+// splitmix64 finalizer: the rendezvous weight mixer.
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 RedirectingClient::RedirectingClient(DvmServer* server, ClassProvider* direct,
                                      MachineConfig machine_config, SimLink link)
@@ -23,31 +42,154 @@ RedirectingClient::RedirectingClient(DvmServer* server, ClassProvider* direct,
   profiler_->Install(*machine_);
 }
 
-Result<Bytes> RedirectingClient::FetchClass(const std::string& class_name) {
-  // Signature-verification work on the client (keyed digest over the class).
-  constexpr uint64_t kSignatureCheckNanosPerByte = 35;
+void RedirectingClient::UseCluster(ProxyCluster* cluster, RedirectConfig config) {
+  cluster_ = cluster;
+  redirect_config_ = std::move(config);
+}
 
+void RedirectingClient::ChargeDelivery(SimTime send_at, uint64_t bytes) {
+  SimTime now = machine_->virtual_nanos();
+  // FIFO serialization on the access link: queueing behind earlier messages,
+  // then transmission, then propagation.
+  SimTime arrival = link_.Deliver(std::max(send_at, now), bytes);
+  if (cluster_ != nullptr && cluster_->fault_injector() != nullptr) {
+    arrival += cluster_->fault_injector()->ExtraDelay(redirect_config_.link_name, send_at);
+  }
+  machine_->AddNanos(arrival - now);
+}
+
+Result<Bytes> RedirectingClient::FetchClass(const std::string& class_name) {
   if (direct_ != nullptr) {
     auto direct_bytes = direct_->FetchClass(class_name);
     if (direct_bytes.ok()) {
-      uint64_t check_cost = direct_bytes->size() * kSignatureCheckNanosPerByte;
-      machine_->AddNanos(link_.TransmissionTime(direct_bytes->size()) + link_.latency() +
-                         check_cost);
+      ChargeDelivery(machine_->virtual_nanos(), direct_bytes->size());
+      machine_->AddNanos(direct_bytes->size() * kSignatureCheckNanosPerByte);
       Status valid = server_->proxy().signer().VerifyClassBytes(direct_bytes.value());
       if (valid.ok()) {
         direct_hits_++;
+        stats_.Counter("redirect.direct_hits").Add();
         return direct_bytes;
       }
       rejected_signatures_++;
+      stats_.Counter("redirect.rejected_signatures").Add();
+    } else {
+      // A miss is not free: the client still pays the request out and the
+      // not-found reply back before it can redirect.
+      direct_misses_++;
+      stats_.Counter("redirect.direct_misses").Add();
+      SimTime now = machine_->virtual_nanos();
+      machine_->AddNanos(link_.Deliver(now, kRequestMessageBytes) - now + link_.latency());
     }
   }
 
-  // Redirect to the centralized services.
+  if (cluster_ != nullptr) {
+    return FetchViaCluster(class_name);
+  }
+
+  // Redirect to the centralized services (single-proxy deployment).
   redirects_++;
+  stats_.Counter("redirect.redirects").Add();
   DVM_ASSIGN_OR_RETURN(ProxyResponse response, server_->proxy().HandleRequest(class_name));
-  machine_->AddNanos(response.cpu_nanos + link_.TransmissionTime(response.data.size()) +
-                     link_.latency());
+  ChargeDelivery(machine_->virtual_nanos() + response.cpu_nanos, response.data.size());
   return response.data;
+}
+
+Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name) {
+  const RedirectConfig& rc = redirect_config_;
+  FaultInjector* faults = cluster_->fault_injector();
+  std::vector<size_t> ranked = cluster_->RankReplicas(class_name);
+  if (replica_avoid_until_.size() < cluster_->size()) {
+    replica_avoid_until_.assign(cluster_->size(), 0);
+  }
+
+  SimTime backoff = rc.backoff_base;
+  size_t rank = 0;
+  for (uint64_t attempt = 0; attempt < rc.retry_budget; attempt++) {
+    if (attempt > 0) {
+      retries_++;
+      stats_.Counter("redirect.retries").Add();
+      machine_->AddNanos(backoff);
+      backoff = std::min<SimTime>(backoff * 2, rc.backoff_cap);
+    }
+    SimTime now = machine_->virtual_nanos();
+    if (cluster_->UpReplicas(now) == 0) {
+      break;  // nothing to retry against; the availability policy decides
+    }
+
+    // Skip replicas a recent timeout taught us to avoid; each skip is a
+    // failover to the next rendezvous rank. If every candidate is tainted,
+    // probe the current one anyway (its TTL may be stale).
+    for (size_t probes = 0;
+         probes < ranked.size() && replica_avoid_until_[ranked[rank]] > now; probes++) {
+      rank = (rank + 1) % ranked.size();
+      failovers_++;
+      stats_.Counter("redirect.failovers").Add();
+    }
+    size_t replica = ranked[rank];
+
+    if (!cluster_->ReplicaUp(replica, now)) {
+      // Dead replica: the request goes unanswered until the deadline fires.
+      timeouts_++;
+      stats_.Counter("redirect.timeouts").Add();
+      machine_->AddNanos(rc.request_deadline);
+      replica_avoid_until_[replica] = now + rc.request_deadline + kReplicaAvoidTtl;
+      rank = (rank + 1) % ranked.size();
+      failovers_++;
+      stats_.Counter("redirect.failovers").Add();
+      continue;
+    }
+
+    // Request leg: a dropped message looks exactly like a dead replica until
+    // the deadline fires, but is worth retrying on the same replica.
+    if (faults != nullptr && faults->ShouldDrop(rc.link_name, now)) {
+      timeouts_++;
+      stats_.Counter("redirect.timeouts").Add();
+      stats_.Counter("redirect.dropped").Add();
+      machine_->AddNanos(rc.request_deadline);
+      continue;
+    }
+
+    auto response = cluster_->replica(replica).HandleRequest(class_name);
+    if (!response.ok()) {
+      return response.error();  // hard error (e.g. origin 404) — retries won't help
+    }
+
+    // Response leg.
+    SimTime respond_at = machine_->virtual_nanos() + response->cpu_nanos;
+    if (faults != nullptr && faults->ShouldDrop(rc.link_name, respond_at)) {
+      timeouts_++;
+      stats_.Counter("redirect.timeouts").Add();
+      stats_.Counter("redirect.dropped").Add();
+      machine_->AddNanos(response->cpu_nanos + rc.request_deadline);
+      continue;
+    }
+    ChargeDelivery(respond_at, response->data.size());
+    redirects_++;
+    stats_.Counter("redirect.redirects").Add();
+    return std::move(response).value().data;
+  }
+
+  // Every replica down, or the retry budget ran dry. The strictest required
+  // service decides.
+  if (rc.availability.EffectiveMode(rc.required_services) == AvailabilityMode::kFailOpen) {
+    if (direct_ != nullptr) {
+      auto direct_bytes = direct_->FetchClass(class_name);
+      if (direct_bytes.ok()) {
+        // Degraded serve: the code runs without the (observability-only)
+        // services it would normally have been instrumented with.
+        fail_open_serves_++;
+        stats_.Counter("redirect.fail_open_serves").Add();
+        ChargeDelivery(machine_->virtual_nanos(), direct_bytes->size());
+        return direct_bytes;
+      }
+    }
+    return Error{ErrorCode::kUnavailable,
+                 "all proxy replicas unreachable and no direct source for " + class_name};
+  }
+  fail_closed_rejections_++;
+  stats_.Counter("redirect.fail_closed_rejections").Add();
+  return Error{ErrorCode::kUnavailable,
+               "fail-closed: verification/security services unreachable for " + class_name};
 }
 
 Result<CallOutcome> RedirectingClient::RunApp(const std::string& main_class) {
@@ -56,15 +198,82 @@ Result<CallOutcome> RedirectingClient::RunApp(const std::string& main_class) {
 }
 
 ProxyCluster::ProxyCluster(size_t replicas, ProxyConfig config, const ClassEnv* library_env,
-                           ClassProvider* origin) {
+                           ClassProvider* origin)
+    : manual_down_(replicas, false) {
   assert(replicas > 0);
   for (size_t i = 0; i < replicas; i++) {
     proxies_.push_back(std::make_unique<DvmProxy>(config, library_env, origin));
   }
 }
 
+std::vector<size_t> ProxyCluster::RankReplicas(const std::string& class_name) const {
+  uint64_t key = Fnv1a(class_name);
+  std::vector<std::pair<uint64_t, size_t>> weighted;
+  weighted.reserve(proxies_.size());
+  for (size_t i = 0; i < proxies_.size(); i++) {
+    weighted.emplace_back(Mix64(key ^ (0x9e3779b97f4a7c15ULL * (i + 1))), i);
+  }
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<size_t> ranked;
+  ranked.reserve(weighted.size());
+  for (const auto& [weight, index] : weighted) {
+    ranked.push_back(index);
+  }
+  return ranked;
+}
+
 DvmProxy& ProxyCluster::Route(const std::string& class_name) {
-  return *proxies_[Fnv1a(class_name) % proxies_.size()];
+  std::vector<size_t> ranked = RankReplicas(class_name);
+  for (size_t index : ranked) {
+    if (ReplicaUp(index, 0)) {
+      return *proxies_[index];
+    }
+  }
+  return *proxies_[ranked.front()];
+}
+
+void ProxyCluster::SetReplicaUp(size_t index, bool up) {
+  assert(index < manual_down_.size());
+  manual_down_[index] = !up;
+}
+
+bool ProxyCluster::ReplicaUp(size_t index, SimTime now) const {
+  if (manual_down_[index]) {
+    return false;
+  }
+  return faults_ == nullptr || faults_->ReplicaUp(index, now);
+}
+
+size_t ProxyCluster::UpReplicas(SimTime now) const {
+  size_t up = 0;
+  for (size_t i = 0; i < proxies_.size(); i++) {
+    up += ReplicaUp(i, now) ? 1 : 0;
+  }
+  return up;
+}
+
+std::vector<ServiceClass> RequiredServicesFor(const DvmServerConfig& config) {
+  std::vector<ServiceClass> services;
+  if (config.enable_verification) {
+    services.push_back(ServiceClass::kVerification);
+  }
+  if (config.enable_security) {
+    services.push_back(ServiceClass::kSecurity);
+  }
+  if (config.enable_compiler) {
+    services.push_back(ServiceClass::kCompilation);
+  }
+  if (config.repartition_profile.has_value()) {
+    services.push_back(ServiceClass::kOptimization);
+  }
+  if (config.enable_audit) {
+    services.push_back(ServiceClass::kMonitoring);
+  }
+  if (config.enable_profile) {
+    services.push_back(ServiceClass::kProfiling);
+  }
+  return services;
 }
 
 uint64_t ProxyCluster::total_cpu_nanos() const {

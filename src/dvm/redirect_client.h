@@ -8,15 +8,90 @@
 // an untrusted mirror). Classes that carry a valid organization signature are
 // accepted as-is; unsigned or tampered classes are redirected to the DVM
 // proxy, which rewrites and signs them.
+//
+// The redirect path can target either the server's single proxy or a
+// replicated ProxyCluster. In cluster mode the client fails over: requests
+// carry a deadline, a down or lossy replica costs a timeout charged to the
+// virtual clock, retries back off exponentially (capped) under a total retry
+// budget, and the next rendezvous-ranked replica is tried. When every replica
+// is down, the per-service AvailabilityPolicy decides between a typed
+// kUnavailable rejection (fail closed — mandatory for verification/security)
+// and a degraded unsigned direct fetch (fail open — monitoring/profiling
+// only). See DESIGN.md "Failure semantics".
 #ifndef SRC_DVM_REDIRECT_CLIENT_H_
 #define SRC_DVM_REDIRECT_CLIENT_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "src/dvm/availability.h"
 #include "src/dvm/dvm.h"
+#include "src/simnet/fault.h"
 
 namespace dvm {
+
+// Failover tuning for a RedirectingClient in cluster mode.
+struct RedirectConfig {
+  // Total request attempts per fetch, across replicas and retries.
+  uint64_t retry_budget = 6;
+  // Capped exponential backoff between attempts.
+  SimTime backoff_base = 10 * kMillisecond;
+  SimTime backoff_cap = 400 * kMillisecond;
+  // How long the client waits on an unanswered request before declaring a
+  // timeout; charged to the virtual clock on every lost/ignored request.
+  SimTime request_deadline = 250 * kMillisecond;
+  // Services the cluster's pipeline provides for this deployment; the
+  // strictest one decides the all-replicas-down behavior.
+  std::vector<ServiceClass> required_services = {ServiceClass::kVerification,
+                                                 ServiceClass::kSecurity};
+  AvailabilityPolicy availability;
+  // Key identifying this client's access link in the FaultPlan.
+  std::string link_name = "client-proxy";
+};
+
+// A load-balanced bank of proxies sharing one origin — the paper's answer to
+// the single-point-of-failure / bottleneck concern ("can easily be replicated
+// to accommodate large numbers of hosts"). Requests are routed by rendezvous
+// (highest-random-weight) hashing: each replica keeps a warm cache for the
+// keys it wins, and when a replica dies only its own keys redistribute —
+// evenly — over the survivors, instead of the whole keyspace remapping as a
+// modulo scheme would.
+class ProxyCluster {
+ public:
+  ProxyCluster(size_t replicas, ProxyConfig config, const ClassEnv* library_env,
+               ClassProvider* origin);
+
+  // Replica indices ordered by rendezvous weight for `class_name`, best first.
+  std::vector<size_t> RankReplicas(const std::string& class_name) const;
+
+  // The top-ranked live replica (top-ranked overall when everything is down,
+  // so legacy single-shot callers keep stable routing).
+  DvmProxy& Route(const std::string& class_name);
+  Result<ProxyResponse> HandleRequest(const std::string& class_name) {
+    return Route(class_name).HandleRequest(class_name);
+  }
+
+  // Health state: a replica is up unless marked down administratively or its
+  // FaultPlan outage schedule says otherwise at `now`.
+  void SetReplicaUp(size_t index, bool up);
+  bool ReplicaUp(size_t index, SimTime now) const;
+  size_t UpReplicas(SimTime now) const;
+
+  // Optional fault injector consulted for outage schedules (and by clients
+  // for message drops/delays). Not owned; may be null.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+  FaultInjector* fault_injector() const { return faults_; }
+
+  size_t size() const { return proxies_.size(); }
+  DvmProxy& replica(size_t index) { return *proxies_[index]; }
+  uint64_t total_cpu_nanos() const;
+
+ private:
+  std::vector<std::unique_ptr<DvmProxy>> proxies_;
+  std::vector<bool> manual_down_;
+  FaultInjector* faults_ = nullptr;
+};
 
 class RedirectingClient : public ClassProvider {
  public:
@@ -26,50 +101,65 @@ class RedirectingClient : public ClassProvider {
   RedirectingClient(DvmServer* server, ClassProvider* direct, MachineConfig machine_config,
                     SimLink link);
 
+  // Switches the redirect path from the server's single proxy to `cluster`
+  // (not owned, must outlive the client) with failover per `config`.
+  void UseCluster(ProxyCluster* cluster, RedirectConfig config = {});
+
   Machine& machine() { return *machine_; }
   Result<CallOutcome> RunApp(const std::string& main_class);
 
   Result<Bytes> FetchClass(const std::string& class_name) override;
 
   uint64_t direct_hits() const { return direct_hits_; }
+  uint64_t direct_misses() const { return direct_misses_; }
   uint64_t redirects() const { return redirects_; }
   uint64_t rejected_signatures() const { return rejected_signatures_; }
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t failovers() const { return failovers_; }
+  uint64_t fail_closed_rejections() const { return fail_closed_rejections_; }
+  uint64_t fail_open_serves() const { return fail_open_serves_; }
+
+  // Named counters mirroring the accessors above: redirect.{direct_hits,
+  // direct_misses,redirects,rejected_signatures,timeouts,retries,failovers,
+  // dropped,fail_closed_rejections,fail_open_serves}.
+  const StatsRegistry& stats() const { return stats_; }
 
  private:
+  // The cluster redirect path: deadline/timeout accounting, capped
+  // exponential backoff, rendezvous failover, availability policy.
+  Result<Bytes> FetchViaCluster(const std::string& class_name);
+  // Charges the virtual clock for a response serialized on the access link
+  // (FIFO queueing + transmission + propagation + injected delay).
+  void ChargeDelivery(SimTime send_at, uint64_t bytes);
+
   DvmServer* server_;
   ClassProvider* direct_;
   SimLink link_;
+  ProxyCluster* cluster_ = nullptr;
+  RedirectConfig redirect_config_;
+  // Client-observed health: replicas to skip until the stamped virtual time,
+  // learned from request timeouts.
+  std::vector<SimTime> replica_avoid_until_;
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<EnforcementManager> enforcement_;
   std::unique_ptr<AuditSession> audit_;
   std::unique_ptr<ProfileCollector> profiler_;
   uint64_t direct_hits_ = 0;
+  uint64_t direct_misses_ = 0;
   uint64_t redirects_ = 0;
   uint64_t rejected_signatures_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t failovers_ = 0;
+  uint64_t fail_closed_rejections_ = 0;
+  uint64_t fail_open_serves_ = 0;
+  StatsRegistry stats_;
 };
 
-// A load-balanced bank of proxies sharing one origin — the paper's answer to
-// the single-point-of-failure / bottleneck concern ("can easily be replicated
-// to accommodate large numbers of hosts"). Requests are routed by a stable
-// hash of the class name, so each replica's rewrite cache stays warm for its
-// shard.
-class ProxyCluster {
- public:
-  ProxyCluster(size_t replicas, ProxyConfig config, const ClassEnv* library_env,
-               ClassProvider* origin);
-
-  DvmProxy& Route(const std::string& class_name);
-  Result<ProxyResponse> HandleRequest(const std::string& class_name) {
-    return Route(class_name).HandleRequest(class_name);
-  }
-
-  size_t size() const { return proxies_.size(); }
-  DvmProxy& replica(size_t index) { return *proxies_[index]; }
-  uint64_t total_cpu_nanos() const;
-
- private:
-  std::vector<std::unique_ptr<DvmProxy>> proxies_;
-};
+// Derives the service classes a server's pipeline provides from its config —
+// the `required_services` a RedirectConfig should carry for that deployment.
+std::vector<ServiceClass> RequiredServicesFor(const DvmServerConfig& config);
 
 }  // namespace dvm
 

@@ -1,0 +1,67 @@
+#include "src/simnet/fault.h"
+
+#include "src/support/hash.h"
+
+namespace dvm {
+
+const LinkFaults& FaultInjector::FaultsFor(const std::string& link) const {
+  auto it = plan_.links.find(link);
+  return it != plan_.links.end() ? it->second : plan_.default_link;
+}
+
+Rng& FaultInjector::StreamFor(const std::string& link) {
+  auto it = streams_.find(link);
+  if (it == streams_.end()) {
+    // Each link gets its own stream derived from (seed, link name), so one
+    // link's draw count never shifts another link's sequence.
+    it = streams_.emplace(link, Rng(plan_.seed ^ Fnv1a(link))).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::Record(const std::string& link, SimTime now, uint64_t value) {
+  uint64_t h = trace_hash_;
+  h = (h ^ Fnv1a(link)) * 0x100000001b3ULL;
+  h = (h ^ now) * 0x100000001b3ULL;
+  h = (h ^ value) * 0x100000001b3ULL;
+  trace_hash_ = h;
+  decisions_++;
+}
+
+bool FaultInjector::ShouldDrop(const std::string& link, SimTime now) {
+  const LinkFaults& faults = FaultsFor(link);
+  bool drop = faults.drop_probability > 0.0 && StreamFor(link).Chance(faults.drop_probability);
+  Record(link, now, drop ? 1 : 0);
+  if (drop) {
+    dropped_++;
+  }
+  return drop;
+}
+
+SimTime FaultInjector::ExtraDelay(const std::string& link, SimTime now) {
+  const LinkFaults& faults = FaultsFor(link);
+  SimTime delay = 0;
+  if (faults.extra_delay_max > faults.extra_delay_min) {
+    delay = faults.extra_delay_min +
+            StreamFor(link).Uniform(faults.extra_delay_max - faults.extra_delay_min + 1);
+  } else {
+    delay = faults.extra_delay_min;
+  }
+  Record(link, now, delay);
+  return delay;
+}
+
+bool FaultInjector::ReplicaUp(size_t replica, SimTime now) const {
+  auto it = plan_.replica_outages.find(replica);
+  if (it == plan_.replica_outages.end()) {
+    return true;
+  }
+  for (const OutageWindow& window : it->second) {
+    if (now >= window.down_at && now < window.up_at) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dvm

@@ -1,0 +1,91 @@
+// Deterministic fault injection for the simulated network. The paper answers
+// the "proxy is a single point of failure" concern with replication (§2); to
+// measure what replication actually buys, the simulator must be able to lose
+// messages, delay them, and take replicas down on a schedule — reproducibly.
+//
+// A FaultPlan declares the faults (per-link drop probability and extra-delay
+// distributions, per-replica outage windows) plus a seed; a FaultInjector
+// executes the plan. Every random decision is drawn from a per-link stream
+// derived from the seed, and every decision is folded into a running trace
+// fingerprint, so two runs with the same plan and the same call sequence are
+// bit-for-bit identical — the property the availability bench asserts.
+#ifndef SRC_SIMNET_FAULT_H_
+#define SRC_SIMNET_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/simnet/sim.h"
+#include "src/support/rng.h"
+
+namespace dvm {
+
+inline constexpr SimTime kSimTimeForever = std::numeric_limits<SimTime>::max();
+
+// Fault parameters for one link (or the default for unnamed links).
+struct LinkFaults {
+  // Probability in [0, 1] that a message offered on the link is lost.
+  double drop_probability = 0.0;
+  // Extra one-way delay drawn uniformly from [min, max] per message.
+  SimTime extra_delay_min = 0;
+  SimTime extra_delay_max = 0;
+};
+
+// Half-open outage: the replica is down during [down_at, up_at).
+struct OutageWindow {
+  SimTime down_at = 0;
+  SimTime up_at = kSimTimeForever;
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  // Faults per named link; links not listed use `default_link`.
+  std::map<std::string, LinkFaults> links;
+  LinkFaults default_link;
+  // Outage schedule per replica index. Replicas not listed are always up.
+  std::map<size_t, std::vector<OutageWindow>> replica_outages;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  // True when the message offered on `link` at `now` is lost. Draws from the
+  // link's seeded stream and records the decision in the trace.
+  bool ShouldDrop(const std::string& link, SimTime now);
+
+  // Extra one-way delay for a message on `link` at `now` (0 when the link has
+  // no delay distribution). Recorded in the trace.
+  SimTime ExtraDelay(const std::string& link, SimTime now);
+
+  // Whether `replica` is up at `now` per the outage schedule. Pure (no stream
+  // consumption): health checks must not perturb the drop/delay trace.
+  bool ReplicaUp(size_t replica, SimTime now) const;
+
+  uint64_t dropped() const { return dropped_; }
+  uint64_t decisions() const { return decisions_; }
+
+  // Order-sensitive digest of every drop/delay decision so far. Identical
+  // plans driven through identical call sequences produce identical values.
+  uint64_t TraceFingerprint() const { return trace_hash_; }
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  const LinkFaults& FaultsFor(const std::string& link) const;
+  Rng& StreamFor(const std::string& link);
+  void Record(const std::string& link, SimTime now, uint64_t value);
+
+  FaultPlan plan_;
+  std::map<std::string, Rng> streams_;
+  uint64_t trace_hash_ = 0xcbf29ce484222325ULL;
+  uint64_t dropped_ = 0;
+  uint64_t decisions_ = 0;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_SIMNET_FAULT_H_

@@ -1,22 +1,23 @@
 #include "src/simnet/sim.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dvm {
 
 void EventQueue::Schedule(SimTime when, Callback callback) {
   assert(when >= now_);
-  events_.push(Event{when, next_sequence_++, std::move(callback)});
+  events_.push_back(Event{when, next_sequence_++, std::move(callback)});
+  std::push_heap(events_.begin(), events_.end(), std::greater<>{});
 }
 
 bool EventQueue::RunNext() {
   if (events_.empty()) {
     return false;
   }
-  // priority_queue::top returns const&; the callback must be moved out before
-  // pop, so copy the POD parts first.
-  Event event = std::move(const_cast<Event&>(events_.top()));
-  events_.pop();
+  std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
+  Event event = std::move(events_.back());
+  events_.pop_back();
   now_ = event.when;
   event.callback();
   return true;

@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -43,11 +42,14 @@ class EventQueue {
     SimTime when;
     uint64_t sequence;
     Callback callback;
+    // Min-heap order via std::push_heap/pop_heap on a plain vector (a
+    // priority_queue only exposes a const top(), which forced a const_cast to
+    // move the callback out — undefined behavior).
     bool operator>(const Event& other) const {
       return when != other.when ? when > other.when : sequence > other.sequence;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Event> events_;
   SimTime now_ = 0;
   uint64_t next_sequence_ = 0;
 };

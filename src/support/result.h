@@ -24,6 +24,8 @@ enum class ErrorCode {
   kInvalidArgument,  // caller misuse of a public API
   kCapacity,         // resource limit exceeded (heap, proxy memory, ...)
   kNetwork,          // simulated transfer failure
+  kUnavailable,      // every service replica down; fail-closed policies map
+                     // this to "no code runs" (see DESIGN.md failure semantics)
   kInternal,         // invariant violation
 };
 
@@ -56,6 +58,8 @@ inline const char* ErrorCodeName(ErrorCode code) {
       return "Capacity";
     case ErrorCode::kNetwork:
       return "Network";
+    case ErrorCode::kUnavailable:
+      return "Unavailable";
     case ErrorCode::kInternal:
       return "Internal";
   }
