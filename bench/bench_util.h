@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/dvm/dvm.h"
+#include "src/support/stats.h"
 #include "src/workloads/apps.h"
 
 namespace dvm {
@@ -44,6 +45,17 @@ inline std::string FmtDouble(double v, int precision = 2) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+// Percentile cell from a latency histogram snapshot: the raw recorded unit is
+// divided by `scale` for display (1e6 for nanos -> ms). "-" when no samples
+// were recorded, matching the SampleSet-era table output.
+inline std::string FmtHistPct(const Histogram::Snapshot& snap, double p, double scale,
+                              int precision = 1) {
+  if (snap.count == 0) {
+    return "-";
+  }
+  return FmtDouble(snap.Percentile(p) / scale, precision);
 }
 
 // The permissive organization policy used by the end-to-end benchmarks: the

@@ -28,7 +28,10 @@ uint64_t Mix64(uint64_t x) {
 
 RedirectingClient::RedirectingClient(DvmServer* server, ClassProvider* direct,
                                      MachineConfig machine_config, SimLink link)
-    : server_(server), direct_(direct), link_(link) {
+    : server_(server),
+      direct_(direct),
+      link_(link),
+      h_fetch_nanos_(stats_.Histo("redirect.fetch_nanos")) {
   assert(server_->config().proxy.sign_output &&
          "redirect protocol requires a signing proxy");
   machine_ = std::make_unique<Machine>(machine_config, this);
@@ -47,54 +50,86 @@ void RedirectingClient::UseCluster(ProxyCluster* cluster, RedirectConfig config)
   redirect_config_ = std::move(config);
 }
 
-void RedirectingClient::ChargeDelivery(SimTime send_at, uint64_t bytes) {
+void RedirectingClient::ChargeDelivery(SimTime send_at, uint64_t bytes, SpanId parent_span) {
   SimTime now = machine_->virtual_nanos();
   // FIFO serialization on the access link: queueing behind earlier messages,
   // then transmission, then propagation.
-  SimTime arrival = link_.Deliver(std::max(send_at, now), bytes);
+  SimTime offered = std::max(send_at, now);
+  SimTime arrival = link_.Deliver(offered, bytes, TraceContext{tracer_, parent_span, offered});
   if (cluster_ != nullptr && cluster_->fault_injector() != nullptr) {
-    arrival += cluster_->fault_injector()->ExtraDelay(redirect_config_.link_name, send_at);
+    SimTime extra = cluster_->fault_injector()->ExtraDelay(redirect_config_.link_name, send_at);
+    if (extra > 0) {
+      TraceEmit(tracer_, "fault.delay", parent_span, arrival, arrival + extra, "link");
+      arrival += extra;
+    }
   }
   machine_->AddNanos(arrival - now);
 }
 
 Result<Bytes> RedirectingClient::FetchClass(const std::string& class_name) {
+  SimTime fetch_start = machine_->virtual_nanos();
+  // Root span per fetch; everything the fetch does (direct probe, attempts,
+  // backoff, proxy stages, delivery) nests under it on the virtual clock.
+  SpanScope span(tracer_, [this] { return machine_->virtual_nanos(); }, "fetch " + class_name,
+                 /*parent=*/0, "client");
+  auto result = FetchClassTraced(class_name, span);
+  span.Annotate("outcome", result.ok() ? "ok" : result.error().ToString());
+  h_fetch_nanos_.Record(machine_->virtual_nanos() - fetch_start);
+  return result;
+}
+
+Result<Bytes> RedirectingClient::FetchClassTraced(const std::string& class_name,
+                                                  SpanScope& span) {
   if (direct_ != nullptr) {
     auto direct_bytes = direct_->FetchClass(class_name);
     if (direct_bytes.ok()) {
-      ChargeDelivery(machine_->virtual_nanos(), direct_bytes->size());
+      ChargeDelivery(machine_->virtual_nanos(), direct_bytes->size(), span.id());
+      SimTime check_start = machine_->virtual_nanos();
       machine_->AddNanos(direct_bytes->size() * kSignatureCheckNanosPerByte);
       Status valid = server_->proxy().signer().VerifyClassBytes(direct_bytes.value());
+      TraceEmit(tracer_, "signature.check", span.id(), check_start, machine_->virtual_nanos(),
+                "client");
       if (valid.ok()) {
         direct_hits_++;
         stats_.Counter("redirect.direct_hits").Add();
+        span.Annotate("source", "direct");
         return direct_bytes;
       }
       rejected_signatures_++;
       stats_.Counter("redirect.rejected_signatures").Add();
+      span.Annotate("signature", "rejected");
     } else {
       // A miss is not free: the client still pays the request out and the
       // not-found reply back before it can redirect.
       direct_misses_++;
       stats_.Counter("redirect.direct_misses").Add();
+      span.Annotate("direct", "miss");
       SimTime now = machine_->virtual_nanos();
-      machine_->AddNanos(link_.Deliver(now, kRequestMessageBytes) - now + link_.latency());
+      machine_->AddNanos(link_.Deliver(now, kRequestMessageBytes,
+                                       TraceContext{tracer_, span.id(), now}) -
+                         now + link_.latency());
     }
   }
 
   if (cluster_ != nullptr) {
-    return FetchViaCluster(class_name);
+    return FetchViaCluster(class_name, span);
   }
 
   // Redirect to the centralized services (single-proxy deployment).
   redirects_++;
   stats_.Counter("redirect.redirects").Add();
-  DVM_ASSIGN_OR_RETURN(ProxyResponse response, server_->proxy().HandleRequest(class_name));
-  ChargeDelivery(machine_->virtual_nanos() + response.cpu_nanos, response.data.size());
+  span.Annotate("source", "proxy");
+  SimTime request_at = machine_->virtual_nanos();
+  DVM_ASSIGN_OR_RETURN(ProxyResponse response,
+                       server_->proxy().HandleRequest(class_name, "",
+                                                      TraceContext{tracer_, span.id(),
+                                                                   request_at}));
+  ChargeDelivery(request_at + response.cpu_nanos, response.data.size(), span.id());
   return response.data;
 }
 
-Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name) {
+Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
+                                                 SpanScope& span) {
   const RedirectConfig& rc = redirect_config_;
   FaultInjector* faults = cluster_->fault_injector();
   std::vector<size_t> ranked = cluster_->RankReplicas(class_name);
@@ -104,11 +139,15 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name) 
 
   SimTime backoff = rc.backoff_base;
   size_t rank = 0;
+  uint64_t attempts_made = 0;
   for (uint64_t attempt = 0; attempt < rc.retry_budget; attempt++) {
     if (attempt > 0) {
       retries_++;
       stats_.Counter("redirect.retries").Add();
+      SimTime backoff_start = machine_->virtual_nanos();
       machine_->AddNanos(backoff);
+      TraceEmit(tracer_, "backoff", span.id(), backoff_start, machine_->virtual_nanos(),
+                "client");
       backoff = std::min<SimTime>(backoff * 2, rc.backoff_cap);
     }
     SimTime now = machine_->virtual_nanos();
@@ -126,12 +165,21 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name) 
       stats_.Counter("redirect.failovers").Add();
     }
     size_t replica = ranked[rank];
+    attempts_made = attempt + 1;
+
+    SpanId attempt_span = TraceBegin(tracer_, "attempt " + std::to_string(attempt), span.id(),
+                                     now, "client");
+    TraceAnnotate(tracer_, attempt_span, "replica", std::to_string(replica));
 
     if (!cluster_->ReplicaUp(replica, now)) {
       // Dead replica: the request goes unanswered until the deadline fires.
       timeouts_++;
       stats_.Counter("redirect.timeouts").Add();
       machine_->AddNanos(rc.request_deadline);
+      TraceEmit(tracer_, "deadline.wait", attempt_span, now, machine_->virtual_nanos(),
+                "client");
+      TraceAnnotate(tracer_, attempt_span, "outcome", "replica-down");
+      TraceEnd(tracer_, attempt_span, machine_->virtual_nanos());
       replica_avoid_until_[replica] = now + rc.request_deadline + kReplicaAvoidTtl;
       rank = (rank + 1) % ranked.size();
       failovers_++;
@@ -146,11 +194,18 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name) 
       stats_.Counter("redirect.timeouts").Add();
       stats_.Counter("redirect.dropped").Add();
       machine_->AddNanos(rc.request_deadline);
+      TraceEmit(tracer_, "deadline.wait", attempt_span, now, machine_->virtual_nanos(),
+                "client");
+      TraceAnnotate(tracer_, attempt_span, "outcome", "request-dropped");
+      TraceEnd(tracer_, attempt_span, machine_->virtual_nanos());
       continue;
     }
 
-    auto response = cluster_->replica(replica).HandleRequest(class_name);
+    auto response = cluster_->replica(replica).HandleRequest(
+        class_name, "", TraceContext{tracer_, attempt_span, now});
     if (!response.ok()) {
+      TraceAnnotate(tracer_, attempt_span, "outcome", "hard-error");
+      TraceEnd(tracer_, attempt_span, machine_->virtual_nanos());
       return response.error();  // hard error (e.g. origin 404) — retries won't help
     }
 
@@ -161,16 +216,25 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name) 
       stats_.Counter("redirect.timeouts").Add();
       stats_.Counter("redirect.dropped").Add();
       machine_->AddNanos(response->cpu_nanos + rc.request_deadline);
+      TraceEmit(tracer_, "deadline.wait", attempt_span, respond_at, machine_->virtual_nanos(),
+                "client");
+      TraceAnnotate(tracer_, attempt_span, "outcome", "response-dropped");
+      TraceEnd(tracer_, attempt_span, machine_->virtual_nanos());
       continue;
     }
-    ChargeDelivery(respond_at, response->data.size());
+    ChargeDelivery(respond_at, response->data.size(), attempt_span);
     redirects_++;
     stats_.Counter("redirect.redirects").Add();
+    TraceAnnotate(tracer_, attempt_span, "outcome", "ok");
+    TraceEnd(tracer_, attempt_span, machine_->virtual_nanos());
+    span.Annotate("replica", std::to_string(replica));
+    span.Annotate("attempts", std::to_string(attempts_made));
     return std::move(response).value().data;
   }
 
   // Every replica down, or the retry budget ran dry. The strictest required
   // service decides.
+  span.Annotate("attempts", std::to_string(attempts_made));
   if (rc.availability.EffectiveMode(rc.required_services) == AvailabilityMode::kFailOpen) {
     if (direct_ != nullptr) {
       auto direct_bytes = direct_->FetchClass(class_name);
@@ -179,15 +243,18 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name) 
         // services it would normally have been instrumented with.
         fail_open_serves_++;
         stats_.Counter("redirect.fail_open_serves").Add();
-        ChargeDelivery(machine_->virtual_nanos(), direct_bytes->size());
+        span.Annotate("deadline_outcome", "fail-open");
+        ChargeDelivery(machine_->virtual_nanos(), direct_bytes->size(), span.id());
         return direct_bytes;
       }
     }
+    span.Annotate("deadline_outcome", "unavailable");
     return Error{ErrorCode::kUnavailable,
                  "all proxy replicas unreachable and no direct source for " + class_name};
   }
   fail_closed_rejections_++;
   stats_.Counter("redirect.fail_closed_rejections").Add();
+  span.Annotate("deadline_outcome", "fail-closed");
   return Error{ErrorCode::kUnavailable,
                "fail-closed: verification/security services unreachable for " + class_name};
 }

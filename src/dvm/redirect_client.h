@@ -28,6 +28,7 @@
 #include "src/dvm/availability.h"
 #include "src/dvm/dvm.h"
 #include "src/simnet/fault.h"
+#include "src/support/trace.h"
 
 namespace dvm {
 
@@ -68,8 +69,10 @@ class ProxyCluster {
   // The top-ranked live replica (top-ranked overall when everything is down,
   // so legacy single-shot callers keep stable routing).
   DvmProxy& Route(const std::string& class_name);
-  Result<ProxyResponse> HandleRequest(const std::string& class_name) {
-    return Route(class_name).HandleRequest(class_name);
+  Result<ProxyResponse> HandleRequest(const std::string& class_name,
+                                      const std::string& platform = "",
+                                      const TraceContext& trace = {}) {
+    return Route(class_name).HandleRequest(class_name, platform, trace);
   }
 
   // Health state: a replica is up unless marked down administratively or its
@@ -122,16 +125,26 @@ class RedirectingClient : public ClassProvider {
 
   // Named counters mirroring the accessors above: redirect.{direct_hits,
   // direct_misses,redirects,rejected_signatures,timeouts,retries,failovers,
-  // dropped,fail_closed_rejections,fail_open_serves}.
+  // dropped,fail_closed_rejections,fail_open_serves}; plus the
+  // redirect.fetch_nanos histogram (end-to-end virtual fetch latency).
   const StatsRegistry& stats() const { return stats_; }
 
+  // Observability: with a tracer installed, every FetchClass opens a root
+  // "fetch <class>" span on the virtual clock, with child spans for each
+  // cluster attempt (replica choice, backoff waits, deadline timeouts), the
+  // proxy pipeline stages, and link delivery. Not owned; may be null.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
  private:
+  // FetchClass body, annotating the given root span.
+  Result<Bytes> FetchClassTraced(const std::string& class_name, SpanScope& span);
   // The cluster redirect path: deadline/timeout accounting, capped
   // exponential backoff, rendezvous failover, availability policy.
-  Result<Bytes> FetchViaCluster(const std::string& class_name);
+  Result<Bytes> FetchViaCluster(const std::string& class_name, SpanScope& span);
   // Charges the virtual clock for a response serialized on the access link
   // (FIFO queueing + transmission + propagation + injected delay).
-  void ChargeDelivery(SimTime send_at, uint64_t bytes);
+  void ChargeDelivery(SimTime send_at, uint64_t bytes, SpanId parent_span = 0);
 
   DvmServer* server_;
   ClassProvider* direct_;
@@ -155,6 +168,8 @@ class RedirectingClient : public ClassProvider {
   uint64_t fail_closed_rejections_ = 0;
   uint64_t fail_open_serves_ = 0;
   StatsRegistry stats_;
+  Histogram& h_fetch_nanos_;
+  Tracer* tracer_ = nullptr;
 };
 
 // Derives the service classes a server's pipeline provides from its config —

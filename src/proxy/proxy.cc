@@ -82,7 +82,8 @@ DvmProxy::DvmProxy(ProxyConfig config, const ClassEnv* library_env, ClassProvide
       c_coalesced_(stats_.Counter("proxy.coalesced")),
       c_rewrites_(stats_.Counter("proxy.rewrites")),
       c_generated_hits_(stats_.Counter("proxy.generated_hits")),
-      c_lock_acquisitions_(stats_.Counter("proxy.lock_acquisitions")) {
+      c_lock_acquisitions_(stats_.Counter("proxy.lock_acquisitions")),
+      h_request_cpu_nanos_(stats_.Histo("proxy.request_cpu_nanos")) {
   env_.SetLockCounter(&c_lock_acquisitions_);
 }
 
@@ -91,12 +92,14 @@ void DvmProxy::AddFilter(std::unique_ptr<CodeFilter> filter) {
 }
 
 Result<ProxyResponse> DvmProxy::HandleRequest(const std::string& class_name,
-                                              const std::string& platform) {
+                                              const std::string& platform,
+                                              const TraceContext& trace) {
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   RequestContext ctx;
   ctx.class_name = class_name;
   ctx.platform = platform;
   ctx.cache_key = class_name + "\x1f" + platform;
+  ctx.trace = trace;
 
   if (config_.enable_cache) {
     for (;;) {
@@ -228,7 +231,34 @@ Result<ProxyResponse> DvmProxy::Rewrite(RequestContext& ctx) {
 ProxyResponse DvmProxy::Commit(RequestContext& ctx, ProxyResponse response) {
   response.cpu_nanos = ctx.TotalNanos();
   response.coalesced = ctx.coalesced;
+  if (ctx.trace.active()) {
+    Tracer& tracer = *ctx.trace.tracer;
+    SpanId request = tracer.Begin("proxy " + ctx.class_name, ctx.trace.parent, ctx.trace.at,
+                                  "proxy");
+    tracer.Annotate(request, "cache", ctx.cache_hit ? "hit" : "miss");
+    if (ctx.coalesced) {
+      tracer.Annotate(request, "coalesced", "true");
+    }
+    // Stage children laid end to end from the request's start: their summed
+    // durations equal cpu_nanos by construction (the property trace_test and
+    // the acceptance criteria assert).
+    const std::pair<const char*, uint64_t> stages[] = {{"connection", ctx.connection_nanos},
+                                                       {"parse", ctx.parse_nanos},
+                                                       {"filter", ctx.filter_nanos},
+                                                       {"emit", ctx.emit_nanos},
+                                                       {"sign", ctx.sign_nanos}};
+    uint64_t cursor = ctx.trace.at;
+    for (const auto& [stage, nanos] : stages) {
+      if (nanos == 0) {
+        continue;
+      }
+      tracer.Emit(stage, request, cursor, cursor + nanos, "proxy");
+      cursor += nanos;
+    }
+    tracer.End(request, ctx.trace.at + response.cpu_nanos);
+  }
   total_cpu_nanos_.fetch_add(response.cpu_nanos, std::memory_order_relaxed);
+  h_request_cpu_nanos_.Record(response.cpu_nanos);
   c_connection_nanos_.Add(ctx.connection_nanos);
   c_parse_nanos_.Add(ctx.parse_nanos);
   c_filter_nanos_.Add(ctx.filter_nanos);

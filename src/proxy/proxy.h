@@ -31,6 +31,7 @@
 #include "src/rewrite/filter.h"
 #include "src/runtime/class_registry.h"
 #include "src/support/stats.h"
+#include "src/support/trace.h"
 #include "src/verifier/class_env.h"
 
 namespace dvm {
@@ -94,6 +95,10 @@ struct RequestContext {
   bool cache_hit = false;
   bool coalesced = false;
 
+  // Tracing (off when trace.tracer is null): Commit converts the stage nanos
+  // above into child spans under trace.parent, starting at trace.at.
+  TraceContext trace;
+
   // Audit events produced while serving; flushed to the proxy's audit ring in
   // one locked append when the request commits.
   std::vector<std::string> audit_events;
@@ -153,8 +158,12 @@ class DvmProxy {
   // the cache is keyed on (class, platform) so an x86 client and an Alpha
   // client each receive code compiled for their own architecture.
   // Safe to call concurrently from many worker threads.
+  // With an active `trace`, the request emits a "proxy <class>" span under
+  // trace.parent whose stage children (connection/parse/filter/emit/sign) sum
+  // exactly to the response's cpu_nanos.
   Result<ProxyResponse> HandleRequest(const std::string& class_name,
-                                      const std::string& platform = "");
+                                      const std::string& platform = "",
+                                      const TraceContext& trace = {});
 
   // Drops all rewritten state — the LRU cache AND the filter-synthesized
   // class map — used when the service configuration (e.g. the security
@@ -172,7 +181,8 @@ class DvmProxy {
   uint64_t coalesced_requests() const { return flights_.coalesced_waits(); }
   // Named counters: proxy.{connection,parse,filter,emit,sign}_nanos,
   // proxy.coalesced, proxy.rewrites, proxy.generated_hits,
-  // proxy.lock_acquisitions (audit + generated + env + pipeline locks).
+  // proxy.lock_acquisitions (audit + generated + env + pipeline locks); plus
+  // the proxy.request_cpu_nanos histogram (per-request CPU, p50/p99/max).
   const StatsRegistry& stats() const { return stats_; }
 
   // Memory in use with `inflight` concurrent requests: cache + per-request
@@ -242,6 +252,7 @@ class DvmProxy {
   StatCounter& c_rewrites_;
   StatCounter& c_generated_hits_;
   StatCounter& c_lock_acquisitions_;
+  Histogram& h_request_cpu_nanos_;
 };
 
 }  // namespace dvm

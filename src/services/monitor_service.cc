@@ -85,6 +85,14 @@ void AdministrationConsole::RecordCodeVersion(const std::string& class_name,
   code_versions_[class_name] = digest_hex;
 }
 
+void AdministrationConsole::IngestTrace(const Tracer& tracer) {
+  for (Span& span : tracer.Finished()) {
+    RecordSpan(std::move(span));
+  }
+}
+
+void AdministrationConsole::RecordSpan(Span span) { trace_spans_.push_back(std::move(span)); }
+
 const std::vector<std::string>& AdministrationConsole::FirstUseOrder(
     uint64_t session_id) const {
   static const std::vector<std::string> kEmpty;

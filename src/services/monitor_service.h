@@ -19,6 +19,7 @@
 
 #include "src/rewrite/filter.h"
 #include "src/runtime/machine.h"
+#include "src/support/trace.h"
 
 namespace dvm {
 
@@ -56,6 +57,15 @@ class AdministrationConsole {
   // when a class changed digest mid-flight (stale mirrors, upgrades).
   void RecordCodeVersion(const std::string& class_name, const std::string& digest_hex);
 
+  // Trace sink (§3.3's central observation point, extended to spans): pulls
+  // every completed span out of `tracer` and files it next to the audit log,
+  // so the organization's console holds the full virtual-time execution trace
+  // of its clients. Exported via ChromeTraceJson(trace_spans()).
+  void IngestTrace(const Tracer& tracer);
+  void RecordSpan(Span span);
+  const std::vector<Span>& trace_spans() const { return trace_spans_; }
+  uint64_t spans_ingested() const { return trace_spans_.size(); }
+
   const std::vector<AuditEvent>& log() const { return log_; }
   const std::vector<MonitoredSession>& sessions() const { return sessions_; }
   const std::map<std::pair<std::string, std::string>, uint64_t>& call_graph() const {
@@ -76,6 +86,7 @@ class AdministrationConsole {
   std::map<uint64_t, std::vector<std::string>> first_use_;
   std::map<std::string, std::string> code_versions_;
   uint64_t code_version_changes_ = 0;
+  std::vector<Span> trace_spans_;
 };
 
 // --- static components ---------------------------------------------------------

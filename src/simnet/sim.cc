@@ -29,11 +29,29 @@ void EventQueue::RunUntilEmpty() {
 }
 
 SimTime SimLink::Deliver(SimTime start, uint64_t bytes) {
+  return Deliver(start, bytes, TraceContext{});
+}
+
+SimTime SimLink::Deliver(SimTime start, uint64_t bytes, const TraceContext& trace) {
   SimTime begin = std::max(start, busy_until_);
   SimTime transmission = TransmissionTime(bytes);
-  busy_until_ = begin + transmission;
+  SimTime done = begin + transmission;
+  SimTime arrival = done + latency_;
+  if (trace.active()) {
+    SpanId deliver = trace.tracer->Begin("link.deliver", trace.parent, start, "link");
+    trace.tracer->Annotate(deliver, "bytes", std::to_string(bytes));
+    if (begin > start) {
+      trace.tracer->Emit("queue", deliver, start, begin, "link");
+    }
+    trace.tracer->Emit("transmit", deliver, begin, done, "link");
+    if (latency_ > 0) {
+      trace.tracer->Emit("propagate", deliver, done, arrival, "link");
+    }
+    trace.tracer->End(deliver, arrival);
+  }
+  busy_until_ = done;
   bytes_carried_ += bytes;
-  return busy_until_ + latency_;
+  return arrival;
 }
 
 SimTime CpuServer::Execute(SimTime ready, SimTime cpu) {

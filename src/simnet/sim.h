@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/support/rng.h"
+#include "src/support/trace.h"
 
 namespace dvm {
 
@@ -67,6 +68,10 @@ class SimLink {
   }
 
   SimTime Deliver(SimTime start, uint64_t bytes);
+  // Traced variant: records a "link.deliver" span under `trace.parent` with
+  // queueing / transmission / propagation sub-spans, so a trace shows whether
+  // a slow delivery was head-of-line blocking or the wire itself.
+  SimTime Deliver(SimTime start, uint64_t bytes, const TraceContext& trace);
 
   SimTime TransmissionTime(uint64_t bytes) const {
     return static_cast<SimTime>(static_cast<double>(bytes) / bytes_per_second_ * 1e9);

@@ -1,11 +1,14 @@
 #include "src/support/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace dvm {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+// Atomic: SetLogLevel is called while proxy worker threads log concurrently;
+// a plain global here was a data race (TSan-visible once workers existed).
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,11 +28,16 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         static_cast<int>(g_level.load(std::memory_order_relaxed));
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) {
+  if (!LogEnabled(level)) {
     return;
   }
   std::fprintf(stderr, "[dvm %s] %s\n", LevelName(level), message.c_str());

@@ -1,5 +1,11 @@
 // Minimal leveled logging. Experiments run quietly by default; set the level to
 // kDebug when tracing a pipeline or an interpreter run.
+//
+// The level is an atomic: SetLogLevel may race with worker threads logging
+// (the proxy pool does exactly that), so LogMessage reads it with a relaxed
+// load. The DVM_LOG macro checks the level BEFORE constructing the LogLine,
+// so a filtered statement costs one relaxed load — no ostringstream, no
+// allocation, and the streamed operands are never evaluated.
 #ifndef SRC_SUPPORT_LOGGING_H_
 #define SRC_SUPPORT_LOGGING_H_
 
@@ -12,6 +18,8 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+// True when a message at `level` would be emitted — the DVM_LOG fast path.
+bool LogEnabled(LogLevel level);
 void LogMessage(LogLevel level, const std::string& message);
 
 // Stream-style logging helper: DVM_LOG(kInfo) << "loaded " << n << " classes";
@@ -31,7 +39,17 @@ class LogLine {
   std::ostringstream stream_;
 };
 
-#define DVM_LOG(level) ::dvm::LogLine(::dvm::LogLevel::level)
+// Swallows the LogLine chain on the enabled branch of DVM_LOG. operator&
+// binds looser than operator<<, so the whole streamed expression evaluates
+// first; the conditional's two arms then both have type void.
+struct LogVoidify {
+  void operator&(const LogLine&) {}
+};
+
+#define DVM_LOG(level)                           \
+  (!::dvm::LogEnabled(::dvm::LogLevel::level))   \
+      ? (void)0                                  \
+      : ::dvm::LogVoidify() & ::dvm::LogLine(::dvm::LogLevel::level)
 
 }  // namespace dvm
 

@@ -80,6 +80,116 @@ double SampleSet::Max() const {
   return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
 }
 
+namespace {
+
+// Bucket bounds: start at 1 and grow by 1.5x, bumped by at least 1 so the
+// low buckets stay distinct (1, 2, 3, 4, 5, 7, 11, 17, 25, ...). The last
+// bound is ~1.04e11 — nanosecond values up to ~104 virtual seconds resolve,
+// larger ones clamp into the final bucket.
+std::array<uint64_t, Histogram::kBuckets> MakeBounds() {
+  std::array<uint64_t, Histogram::kBuckets> bounds{};
+  double x = 1.0;
+  uint64_t prev = 0;
+  for (size_t i = 0; i < Histogram::kBuckets; i++) {
+    auto v = static_cast<uint64_t>(x);
+    if (v <= prev) {
+      v = prev + 1;
+    }
+    bounds[i] = v;
+    prev = v;
+    x *= 1.5;
+  }
+  return bounds;
+}
+
+const std::array<uint64_t, Histogram::kBuckets>& Bounds() {
+  static const std::array<uint64_t, Histogram::kBuckets> bounds = MakeBounds();
+  return bounds;
+}
+
+}  // namespace
+
+uint64_t Histogram::BucketBound(size_t i) {
+  return Bounds()[i < kBuckets ? i : kBuckets - 1];
+}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  const auto& bounds = Bounds();
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return it == bounds.end() ? kBuckets - 1 : static_cast<size_t>(it - bounds.begin());
+}
+
+uint64_t Histogram::BucketWidth(uint64_t value) {
+  size_t i = BucketFor(value);
+  return i == 0 ? 1 : BucketBound(i) - BucketBound(i - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen && !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  for (size_t i = 0; i < kBuckets; i++) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = min == std::numeric_limits<uint64_t>::max() ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  if (p <= 0.0) {
+    return static_cast<double>(min);
+  }
+  if (p >= 100.0) {
+    return static_cast<double>(max);
+  }
+  double rank = p / 100.0 * static_cast<double>(count - 1);
+  uint64_t consumed = 0;
+  for (size_t i = 0; i < kBuckets; i++) {
+    uint64_t c = counts[i];
+    if (c == 0) {
+      continue;
+    }
+    if (rank < static_cast<double>(consumed + c)) {
+      double lo = i == 0 ? 0.0 : static_cast<double>(BucketBound(i - 1));
+      double hi = static_cast<double>(BucketBound(i));
+      double frac = (rank - static_cast<double>(consumed)) / static_cast<double>(c);
+      double value = lo + (hi - lo) * frac;
+      value = std::max(value, static_cast<double>(min));
+      value = std::min(value, static_cast<double>(max));
+      return value;
+    }
+    consumed += c;
+  }
+  return static_cast<double>(max);
+}
+
 StatCounter& StatsRegistry::Counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
@@ -105,10 +215,39 @@ std::vector<std::pair<std::string, uint64_t>> StatsRegistry::Snapshot() const {
   return out;
 }
 
+Histogram& StatsRegistry::Histo(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+Histogram::Snapshot StatsRegistry::HistogramSnapshot(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram::Snapshot{} : it->second->TakeSnapshot();
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>> StatsRegistry::HistogramSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram->TakeSnapshot());
+  }
+  return out;
+}
+
 void StatsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) {
     counter->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
   }
 }
 

@@ -1,13 +1,16 @@
 // Lightweight statistics accumulators for the benchmark harnesses: running
 // mean/stddev (Welford) and percentile extraction over stored samples, plus
-// thread-safe named counters (StatsRegistry) that the concurrent proxy request
-// path uses to surface per-stage work, coalescing, and lock traffic.
+// thread-safe named counters and log-bucketed latency histograms
+// (StatsRegistry) that the concurrent proxy request path uses to surface
+// per-stage work, coalescing, lock traffic, and tail latency.
 #ifndef SRC_SUPPORT_STATS_H_
 #define SRC_SUPPORT_STATS_H_
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,6 +70,50 @@ class StatCounter {
   std::atomic<uint64_t> value_{0};
 };
 
+// Log-bucketed histogram with lock-free recording: 64 buckets whose inclusive
+// upper bounds grow by ~1.5x per step (1, 2, 3, 4, 5, 7, 11, ... ~1e11), so a
+// nanosecond-scale latency distribution spanning six decades fits with bounded
+// relative error. Percentiles interpolate within the winning bucket and are
+// accurate to one bucket width (asserted against exact SampleSet percentiles
+// in trace_test).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  // A consistent copy of the histogram state; all queries run on snapshots so
+  // hot paths never take a lock.
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> counts{};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+
+    // p in [0, 100]; linear interpolation within the bucket holding the rank,
+    // clamped to the observed [min, max].
+    double Percentile(double p) const;
+    double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count); }
+  };
+
+  void Record(uint64_t value);
+  Snapshot TakeSnapshot() const;
+  void Reset();
+
+  // Inclusive upper bound of bucket `i` (the last bucket absorbs any larger
+  // value); index of the bucket holding `value`; width of that bucket — the
+  // percentile error bound at `value`.
+  static uint64_t BucketBound(size_t i);
+  static size_t BucketFor(uint64_t value);
+  static uint64_t BucketWidth(uint64_t value);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> counts_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
+  std::atomic<uint64_t> max_{0};
+};
+
 // Registry of named counters. Counter() returns a reference that stays valid
 // for the registry's lifetime, so hot paths resolve a counter once and then
 // bump it lock-free; only creation and snapshotting take the registry mutex.
@@ -77,11 +124,21 @@ class StatsRegistry {
   uint64_t Value(const std::string& name) const;
   // Name-sorted (map order) view of every counter.
   std::vector<std::pair<std::string, uint64_t>> Snapshot() const;
+
+  // Named histogram; like Counter(), the reference stays valid for the
+  // registry's lifetime so hot paths record lock-free after one lookup.
+  Histogram& Histo(const std::string& name);
+  // Empty snapshot when the histogram does not exist.
+  Histogram::Snapshot HistogramSnapshot(const std::string& name) const;
+  // Name-sorted view of every histogram.
+  std::vector<std::pair<std::string, Histogram::Snapshot>> HistogramSnapshots() const;
+
   void Reset();
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<StatCounter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace dvm

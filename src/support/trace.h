@@ -1,0 +1,158 @@
+// Virtual-clock span tracing (the observability substrate, DESIGN.md §9).
+//
+// The paper factors monitoring out of the client into a centralized service
+// (§3.3); this layer gives the reproduction the matching data path: every
+// request through the system opens a Span on a thread-safe Tracer, child
+// spans capture where the virtual time went (link queueing vs transmission,
+// proxy pipeline stages, retry backoff, deadline waits), and completed spans
+// flow to the AdministrationConsole next to the audit log. Because all
+// timestamps are virtual nanoseconds, identical seeds produce byte-identical
+// exported traces — a trace is a reproducible artifact, not a sampling.
+//
+// Two exporters: Chrome trace_event JSON (loadable in chrome://tracing or
+// Perfetto) and a Prometheus-style text snapshot of a StatsRegistry's
+// counters and histograms.
+#ifndef SRC_SUPPORT_TRACE_H_
+#define SRC_SUPPORT_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/support/stats.h"
+
+namespace dvm {
+
+using SpanId = uint64_t;  // 0 = "no span"
+
+// One closed interval of virtual time, with causality (parent) and key/value
+// annotations. `track` is the Chrome "tid" lane the span renders on; child
+// spans inherit their parent's track by default so a request's whole tree
+// stacks in one lane.
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;
+  std::string name;
+  std::string category;
+  uint64_t track = 1;
+  uint64_t start_nanos = 0;
+  uint64_t end_nanos = 0;
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  uint64_t duration_nanos() const { return end_nanos - start_nanos; }
+};
+
+// Thread-safe span collector. Ids are assigned in Begin order under the lock,
+// so a single-threaded virtual-clock run numbers its spans deterministically.
+class Tracer {
+ public:
+  // `track` 0 inherits the parent's track (1 when there is no parent).
+  SpanId Begin(std::string name, SpanId parent, uint64_t start_nanos,
+               std::string category = "", uint64_t track = 0);
+  // No-ops on an unknown or already-finished id.
+  void Annotate(SpanId id, std::string key, std::string value);
+  void End(SpanId id, uint64_t end_nanos);
+  // Begin + End in one call, for spans whose extent is already known.
+  SpanId Emit(std::string name, SpanId parent, uint64_t start_nanos, uint64_t end_nanos,
+              std::string category = "", uint64_t track = 0);
+
+  // Completed spans ordered by (start, id) — the exporter order.
+  std::vector<Span> Finished() const;
+  size_t finished_count() const;
+  size_t open_count() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  SpanId next_id_ = 1;
+  std::map<SpanId, Span> open_;
+  std::vector<Span> finished_;
+};
+
+// Null-tolerant helpers so call sites stay branch-free when tracing is off.
+inline SpanId TraceBegin(Tracer* tracer, std::string name, SpanId parent, uint64_t start_nanos,
+                         std::string category = "", uint64_t track = 0) {
+  return tracer == nullptr
+             ? 0
+             : tracer->Begin(std::move(name), parent, start_nanos, std::move(category), track);
+}
+inline void TraceAnnotate(Tracer* tracer, SpanId id, std::string key, std::string value) {
+  if (tracer != nullptr) {
+    tracer->Annotate(id, std::move(key), std::move(value));
+  }
+}
+inline void TraceEnd(Tracer* tracer, SpanId id, uint64_t end_nanos) {
+  if (tracer != nullptr) {
+    tracer->End(id, end_nanos);
+  }
+}
+inline SpanId TraceEmit(Tracer* tracer, std::string name, SpanId parent, uint64_t start_nanos,
+                        uint64_t end_nanos, std::string category = "", uint64_t track = 0) {
+  return tracer == nullptr ? 0
+                           : tracer->Emit(std::move(name), parent, start_nanos, end_nanos,
+                                          std::move(category), track);
+}
+
+// Carries "who traces, under which parent, starting at which virtual time"
+// into APIs that compute their own durations (proxy pipeline stages, link
+// delivery legs). Default-constructed = tracing off.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  SpanId parent = 0;
+  uint64_t at = 0;  // virtual nanos at which the traced operation begins
+
+  bool active() const { return tracer != nullptr; }
+};
+
+// RAII span tied to a virtual clock: opens at construction time's clock value,
+// closes at destruction's. A null tracer makes every operation a no-op.
+class SpanScope {
+ public:
+  using Clock = std::function<uint64_t()>;
+
+  SpanScope(Tracer* tracer, Clock clock, std::string name, SpanId parent = 0,
+            std::string category = "", uint64_t track = 0)
+      : tracer_(tracer), clock_(std::move(clock)) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->Begin(std::move(name), parent, clock_(), std::move(category), track);
+    }
+  }
+  ~SpanScope() {
+    if (tracer_ != nullptr) {
+      tracer_->End(id_, clock_());
+    }
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  SpanId id() const { return id_; }
+  void Annotate(std::string key, std::string value) {
+    TraceAnnotate(tracer_, id_, std::move(key), std::move(value));
+  }
+
+ private:
+  Tracer* tracer_;
+  Clock clock_;
+  SpanId id_ = 0;
+};
+
+// Chrome trace_event JSON ("X" complete events, ts/dur in microseconds with
+// nanosecond precision). `metadata` lands in "otherData". Deterministic:
+// identical spans and metadata serialize to identical bytes.
+std::string ChromeTraceJson(const std::vector<Span>& spans,
+                            const std::vector<std::pair<std::string, std::string>>& metadata = {});
+
+// Prometheus text exposition of every counter and histogram in `stats`,
+// prefixed "dvm_" with dots mapped to underscores; `labels` are attached to
+// every series. Histogram buckets are cumulative, emitted up to the bucket
+// holding the observed max.
+std::string PrometheusText(const StatsRegistry& stats,
+                           const std::vector<std::pair<std::string, std::string>>& labels = {});
+
+}  // namespace dvm
+
+#endif  // SRC_SUPPORT_TRACE_H_
