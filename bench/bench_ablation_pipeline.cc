@@ -41,7 +41,7 @@ int main() {
   {
     auto filters = make_filters();
     for (const ClassFile& cls : app.classes) {
-      Bytes wire = WriteClassFile(cls);
+      Bytes wire = MustWriteClassFile(cls);
       shared_nanos += parse_cost(wire.size());
       auto parsed = ReadClassFile(wire);
       if (!parsed.ok()) {
@@ -59,7 +59,7 @@ int main() {
           current = std::move(*outcome->replacement);
         }
       }
-      shared_nanos += emit_cost(WriteClassFile(current).size());
+      shared_nanos += emit_cost(MustWriteClassFile(current).size());
     }
   }
 
@@ -68,7 +68,7 @@ int main() {
   {
     auto filters = make_filters();
     for (const ClassFile& cls : app.classes) {
-      Bytes wire = WriteClassFile(cls);
+      Bytes wire = MustWriteClassFile(cls);
       for (auto& filter : filters) {
         naive_nanos += parse_cost(wire.size());
         auto parsed = ReadClassFile(wire);
@@ -85,7 +85,7 @@ int main() {
         if (outcome->replacement.has_value()) {
           current = std::move(*outcome->replacement);
         }
-        wire = WriteClassFile(current);
+        wire = MustWriteClassFile(current);
         naive_nanos += emit_cost(wire.size());
       }
     }

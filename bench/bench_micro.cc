@@ -32,7 +32,7 @@ void BM_ClassFileSerialize(benchmark::State& state) {
   const ClassFile& cls = JlexBundle().classes[1];
   size_t bytes = 0;
   for (auto _ : state) {
-    Bytes out = WriteClassFile(cls);
+    Bytes out = MustWriteClassFile(cls);
     bytes += out.size();
     benchmark::DoNotOptimize(out);
   }
@@ -41,7 +41,7 @@ void BM_ClassFileSerialize(benchmark::State& state) {
 BENCHMARK(BM_ClassFileSerialize);
 
 void BM_ClassFileParse(benchmark::State& state) {
-  Bytes wire = WriteClassFile(JlexBundle().classes[1]);
+  Bytes wire = MustWriteClassFile(JlexBundle().classes[1]);
   size_t bytes = 0;
   for (auto _ : state) {
     auto cls = ReadClassFile(wire);
@@ -76,7 +76,7 @@ void BM_VerificationFilterPipeline(benchmark::State& state) {
   for (const auto& cls : Library()) {
     env.Add(&cls);
   }
-  Bytes wire = WriteClassFile(JlexBundle().classes[1]);
+  Bytes wire = MustWriteClassFile(JlexBundle().classes[1]);
   for (auto _ : state) {
     FilterPipeline pipeline(&env);
     pipeline.Add(std::make_unique<VerificationFilter>());
@@ -162,7 +162,7 @@ void BM_SignClass(benchmark::State& state) {
   CodeSigner signer("org-key");
   const ClassFile& cls = JlexBundle().classes[1];
   for (auto _ : state) {
-    Bytes out = signer.SignedBytes(cls);
+    Bytes out = signer.SignedBytes(cls).value();
     benchmark::DoNotOptimize(out);
   }
 }

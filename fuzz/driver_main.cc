@@ -1,0 +1,110 @@
+// Standalone driver for the fuzz harnesses, used where the toolchain has no
+// libFuzzer (the default g++ build and the CI smoke job). Behaviour:
+//
+//   harness [flags] [corpus file or directory]...
+//     -runs=N     mutation iterations after the corpus replay (default 0)
+//     -seed=S     PRNG seed for the mutation loop (default 1)
+//     -dump=PATH  write each input to PATH before executing it, so the input
+//                 that crashed the harness survives the crash for triage
+//
+// Every corpus input is replayed through LLVMFuzzerTestOneInput first (the
+// regression half), then `runs` mutants are generated from the corpus (or the
+// built-in seeds when no corpus was given) and executed (the discovery half).
+// Any oracle violation or sanitizer finding aborts the process non-zero,
+// which is what the CI job keys on.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutator.h"
+#include "src/support/bytes.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+dvm::Bytes ReadFileBytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return dvm::Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+std::string g_dump_path;
+
+void RunOne(const dvm::Bytes& data) {
+  if (!g_dump_path.empty()) {
+    std::ofstream out(g_dump_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+  }
+  LLVMFuzzerTestOneInput(data.data(), data.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 0;
+  uint64_t seed = 1;
+  std::vector<std::filesystem::path> inputs;
+
+  for (int i = 1; i < argc; i++) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-runs=", 6) == 0) {
+      runs = std::strtoull(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "-seed=", 6) == 0) {
+      seed = std::strtoull(arg + 6, nullptr, 10);
+    } else if (std::strncmp(arg, "-dump=", 6) == 0) {
+      g_dump_path = arg + 6;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+
+  std::vector<dvm::Bytes> corpus;
+  for (const auto& path : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) {
+          files.push_back(entry.path());
+        }
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const auto& file : files) {
+        corpus.push_back(ReadFileBytes(file));
+      }
+    } else {
+      corpus.push_back(ReadFileBytes(path));
+    }
+  }
+
+  std::printf("replaying %zu corpus input(s)\n", corpus.size());
+  for (const auto& data : corpus) {
+    RunOne(data);
+  }
+
+  if (runs > 0) {
+    std::vector<dvm::Bytes> bases = corpus.empty() ? dvm::fuzz::BuiltinSeeds() : corpus;
+    dvm::fuzz::Rng rng(seed);
+    for (uint64_t i = 0; i < runs; i++) {
+      const dvm::Bytes& base = bases[rng.Below(static_cast<uint32_t>(bases.size()))];
+      RunOne(dvm::fuzz::MutateClassBytes(base, rng));
+      if ((i + 1) % 5000 == 0) {
+        std::printf("  %llu/%llu mutants\n", static_cast<unsigned long long>(i + 1),
+                    static_cast<unsigned long long>(runs));
+      }
+    }
+    std::printf("ran %llu mutant(s), seed=%llu\n", static_cast<unsigned long long>(runs),
+                static_cast<unsigned long long>(seed));
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Harness: ReadClassFile → WriteClassFile → ReadClassFile round-trip oracle.
+// Links against driver_main.cc for standalone runs, or -fsanitize=fuzzer when
+// the toolchain provides libFuzzer (-DDVM_LIBFUZZER=ON).
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/oracles.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  dvm::fuzz::RequireClean(dvm::fuzz::CheckRoundTrip(dvm::Bytes(data, data + size)));
+  return 0;
+}

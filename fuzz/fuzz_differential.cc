@@ -1,0 +1,12 @@
+// Harness: verifier↔interpreter differential oracle — the paper's §4.1 claim.
+// Accepted classes must execute under a bounded Machine without impossible
+// host errors or sanitizer findings; rejected classes must fail closed.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/oracles.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  dvm::fuzz::RequireClean(dvm::fuzz::CheckDifferential(dvm::Bytes(data, data + size)));
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Harness: proxy filter pipeline totality/fixpoint oracle. The pipeline must
+// fail closed on hostile bytes and must be able to re-process its own output.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/oracles.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  dvm::fuzz::RequireClean(dvm::fuzz::CheckRewritePipeline(dvm::Bytes(data, data + size)));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Structure-aware class-file mutator. Unlike a blind bit-flipper, it parses
+// the seed when possible and perturbs the places where the format's safety
+// arguments live: constant-pool cross-references, opcode/operand bytes,
+// exception-handler ranges, declared stack/local budgets, and table counts.
+// Unparseable seeds fall back to raw byte mutations (truncation, splices,
+// flips) so the parser's own error paths stay exercised.
+//
+// Everything is driven by an explicit seeded PRNG — the same (seed, input)
+// pair always yields the same mutant, which keeps fuzz runs and minimized
+// crashers reproducible.
+#ifndef FUZZ_MUTATOR_H_
+#define FUZZ_MUTATOR_H_
+
+#include <cstdint>
+
+#include "src/support/bytes.h"
+
+namespace dvm {
+namespace fuzz {
+
+// splitmix64: tiny, seedable, and good enough for mutation scheduling.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  // Uniform-ish in [0, bound); bound must be > 0.
+  uint32_t Below(uint32_t bound) { return static_cast<uint32_t>(Next() % bound); }
+  bool Coin() { return (Next() & 1) != 0; }
+
+ private:
+  uint64_t state_;
+};
+
+// Produces one mutant of `data`. Structure-aware when `data` parses as a
+// class file; raw byte-level otherwise. Never returns an empty vector.
+Bytes MutateClassBytes(const Bytes& data, Rng& rng);
+
+// Seed inputs available without any corpus on disk: the serialized system
+// library plus a small builder-assembled application class. Used by the
+// standalone driver when no corpus directory is supplied and by `dvm_fuzz gen`.
+std::vector<Bytes> BuiltinSeeds();
+
+}  // namespace fuzz
+}  // namespace dvm
+
+#endif  // FUZZ_MUTATOR_H_

@@ -1,0 +1,53 @@
+// The three fuzzing oracles, shared by the harnesses, the dvm_fuzz triage CLI
+// and the corpus regression test. Each check returns an empty string when the
+// input is handled safely (parsed cleanly OR rejected with a typed Error) and
+// a human-readable violation description otherwise. The harness aborts on a
+// non-empty result, so under a fuzzer a violation is indistinguishable from a
+// crash and gets the same minimization treatment.
+//
+// This is the paper's safety claim (§4.1) made executable:
+//   round-trip     — Read/Write are mutual inverses on everything Read accepts;
+//   rewrite        — the proxy pipeline is total on hostile input and
+//                    idempotent on its own output;
+//   differential   — a class the verifier ACCEPTS runs in a bounded Machine
+//                    without any "impossible" host error (type confusion,
+//                    operand underflow, dangling reference), and a class it
+//                    REJECTS fails closed with a typed error, never a crash.
+#ifndef FUZZ_ORACLES_H_
+#define FUZZ_ORACLES_H_
+
+#include <string>
+
+#include "src/support/bytes.h"
+
+namespace dvm {
+namespace fuzz {
+
+// ReadClassFile → WriteClassFile → ReadClassFile. Violations: a parsed class
+// that fails to re-serialize, a serialization that fails to re-parse, or a
+// round-trip that is not byte-identical.
+std::string CheckRoundTrip(const Bytes& data);
+
+// FilterPipeline (verification filter over the system library) on the raw
+// bytes, then again on its own output. Violations: non-idempotent output or
+// second-pass failure on bytes the pipeline itself produced.
+std::string CheckRewritePipeline(const Bytes& data);
+
+// Verifier↔interpreter differential oracle. Parses and verifies against the
+// system library; executes every static niladic method of an accepted class
+// under a small fuel/heap/frame budget. Violations: an accepted class
+// producing a host error outside the benign set (missing classes, unbound
+// natives, exhausted budgets), which would mean the verifier passed something
+// the interpreter cannot execute safely.
+std::string CheckDifferential(const Bytes& data);
+
+// All three in sequence; first violation wins.
+std::string CheckAll(const Bytes& data);
+
+// fprintf + abort on a non-empty violation message (fuzzer crash signal).
+void RequireClean(const std::string& violation);
+
+}  // namespace fuzz
+}  // namespace dvm
+
+#endif  // FUZZ_ORACLES_H_

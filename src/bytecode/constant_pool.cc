@@ -153,7 +153,13 @@ Result<MemberRef> ConstantPool::MethodRefAt(uint16_t index) const {
 }
 
 Status ConstantPool::Validate() const {
-  for (uint16_t i = 1; i < entries_.size(); i++) {
+  // size_t counter: a pool past 65535 entries must fail validation, not wrap
+  // a u16 counter into an infinite loop (AppendRaw caps the parse path, but
+  // builder-assembled pools reach here uncapped).
+  if (entries_.size() > 0xFFFF) {
+    return Error{ErrorCode::kVerifyError, "constant pool exceeds 65535 entries"};
+  }
+  for (size_t i = 1; i < entries_.size(); i++) {
     const CpEntry& e = entries_[i];
     switch (e.tag) {
       case CpTag::kUtf8:

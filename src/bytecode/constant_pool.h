@@ -63,6 +63,9 @@ class ConstantPool {
 
   size_t size() const { return entries_.size(); }
   const CpEntry& entry(uint16_t index) const { return entries_[index]; }
+  // In-place access for tooling that deliberately corrupts entries (the fuzz
+  // mutator). Interning keys are NOT updated; do not mix with the adders.
+  CpEntry& mutable_entry(uint16_t index) { return entries_[index]; }
   bool IsValidIndex(uint16_t index) const { return index > 0 && index < entries_.size(); }
   bool HasTag(uint16_t index, CpTag tag) const {
     return IsValidIndex(index) && entries_[index].tag == tag;

@@ -3,8 +3,20 @@
 namespace dvm {
 namespace {
 
+// Array descriptors deeper than this are malformed (JVM spec caps dimensions
+// at 255). The cap also bounds the work done on a hostile 65535-char "[[[["…
+// descriptor, which previously recursed once per bracket.
+constexpr size_t kMaxArrayDims = 255;
+
 // Consumes one type descriptor starting at *pos; returns false on malformed input.
 bool ConsumeType(const std::string& desc, size_t* pos) {
+  size_t dims = 0;
+  while (*pos < desc.size() && desc[*pos] == '[') {
+    if (++dims > kMaxArrayDims) {
+      return false;
+    }
+    (*pos)++;
+  }
   if (*pos >= desc.size()) {
     return false;
   }
@@ -13,9 +25,6 @@ bool ConsumeType(const std::string& desc, size_t* pos) {
     case 'J':
       (*pos)++;
       return true;
-    case '[':
-      (*pos)++;
-      return ConsumeType(desc, pos);
     case 'L': {
       size_t semi = desc.find(';', *pos);
       if (semi == std::string::npos || semi == *pos + 1) {

@@ -1,15 +1,38 @@
 #include "src/bytecode/serializer.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace dvm {
 namespace {
 
-void WriteAttributes(ByteWriter& w, const std::vector<Attribute>& attrs) {
+Error TooBig(const char* what, size_t actual, size_t limit) {
+  return Error{ErrorCode::kParseError, std::string(what) + " count " + std::to_string(actual) +
+                                           " exceeds limit " + std::to_string(limit)};
+}
+
+Status CheckStr(const std::string& s, const char* what) {
+  if (s.size() > 0xFFFF) {
+    return TooBig(what, s.size(), 0xFFFF);
+  }
+  return Status::Ok();
+}
+
+Status WriteAttributes(ByteWriter& w, const std::vector<Attribute>& attrs) {
+  if (attrs.size() > kMaxAttrCount) {
+    return TooBig("attribute", attrs.size(), kMaxAttrCount);
+  }
   w.U16(static_cast<uint16_t>(attrs.size()));
   for (const auto& a : attrs) {
+    DVM_RETURN_IF_ERROR(CheckStr(a.name, "attribute name length"));
+    if (a.data.size() > kMaxAttrDataLen) {
+      return TooBig("attribute data length", a.data.size(), kMaxAttrDataLen);
+    }
     w.Str(a.name);
     w.U32(static_cast<uint32_t>(a.data.size()));
     w.Raw(a.data);
   }
+  return Status::Ok();
 }
 
 Result<std::vector<Attribute>> ReadAttributes(ByteReader& r) {
@@ -20,6 +43,9 @@ Result<std::vector<Attribute>> ReadAttributes(ByteReader& r) {
     Attribute a;
     DVM_ASSIGN_OR_RETURN(a.name, r.Str());
     DVM_ASSIGN_OR_RETURN(uint32_t len, r.U32());
+    if (len > kMaxAttrDataLen) {
+      return TooBig("attribute data length", len, kMaxAttrDataLen);
+    }
     DVM_ASSIGN_OR_RETURN(a.data, r.Raw(len));
     attrs.push_back(std::move(a));
   }
@@ -28,18 +54,24 @@ Result<std::vector<Attribute>> ReadAttributes(ByteReader& r) {
 
 }  // namespace
 
-Bytes WriteClassFile(const ClassFile& cls) {
+Result<Bytes> WriteClassFile(const ClassFile& cls) {
   ByteWriter w;
   w.U32(ClassFile::kMagic);
   w.U16(ClassFile::kVersion);
 
   const ConstantPool& pool = cls.pool();
+  // A pool past 65535 entries cannot be represented in the u16 count field;
+  // with a u16 loop counter it previously spun forever instead of failing.
+  if (pool.size() > kMaxPoolEntries) {
+    return TooBig("constant pool", pool.size(), kMaxPoolEntries);
+  }
   w.U16(static_cast<uint16_t>(pool.size()));
-  for (uint16_t i = 1; i < pool.size(); i++) {
-    const CpEntry& e = pool.entry(i);
+  for (size_t i = 1; i < pool.size(); i++) {
+    const CpEntry& e = pool.entry(static_cast<uint16_t>(i));
     w.U8(static_cast<uint8_t>(e.tag));
     switch (e.tag) {
       case CpTag::kUtf8:
+        DVM_RETURN_IF_ERROR(CheckStr(e.utf8, "utf8 constant length"));
         w.Str(e.utf8);
         break;
       case CpTag::kInteger:
@@ -66,27 +98,46 @@ Bytes WriteClassFile(const ClassFile& cls) {
   w.U16(cls.access_flags);
   w.U16(cls.this_class);
   w.U16(cls.super_class);
+  if (cls.interfaces.size() > kMaxMemberCount) {
+    return TooBig("interface", cls.interfaces.size(), kMaxMemberCount);
+  }
   w.U16(static_cast<uint16_t>(cls.interfaces.size()));
   for (uint16_t iface : cls.interfaces) {
     w.U16(iface);
   }
 
+  if (cls.fields.size() > kMaxMemberCount) {
+    return TooBig("field", cls.fields.size(), kMaxMemberCount);
+  }
   w.U16(static_cast<uint16_t>(cls.fields.size()));
   for (const auto& f : cls.fields) {
+    DVM_RETURN_IF_ERROR(CheckStr(f.name, "field name length"));
+    DVM_RETURN_IF_ERROR(CheckStr(f.descriptor, "field descriptor length"));
     w.U16(f.access_flags);
     w.Str(f.name);
     w.Str(f.descriptor);
-    WriteAttributes(w, f.attributes);
+    DVM_RETURN_IF_ERROR(WriteAttributes(w, f.attributes));
   }
 
+  if (cls.methods.size() > kMaxMemberCount) {
+    return TooBig("method", cls.methods.size(), kMaxMemberCount);
+  }
   w.U16(static_cast<uint16_t>(cls.methods.size()));
   for (const auto& m : cls.methods) {
+    DVM_RETURN_IF_ERROR(CheckStr(m.name, "method name length"));
+    DVM_RETURN_IF_ERROR(CheckStr(m.descriptor, "method descriptor length"));
     w.U16(m.access_flags);
     w.Str(m.name);
     w.Str(m.descriptor);
     w.U8(m.code.has_value() ? 1 : 0);
     if (m.code.has_value()) {
       const CodeAttr& c = *m.code;
+      if (c.code.size() > kMaxCodeLen) {
+        return TooBig("code length", c.code.size(), kMaxCodeLen);
+      }
+      if (c.handlers.size() > kMaxHandlerCount) {
+        return TooBig("exception handler", c.handlers.size(), kMaxHandlerCount);
+      }
       w.U16(c.max_stack);
       w.U16(c.max_locals);
       w.U32(static_cast<uint32_t>(c.code.size()));
@@ -99,11 +150,21 @@ Bytes WriteClassFile(const ClassFile& cls) {
         w.U16(h.catch_type);
       }
     }
-    WriteAttributes(w, m.attributes);
+    DVM_RETURN_IF_ERROR(WriteAttributes(w, m.attributes));
   }
 
-  WriteAttributes(w, cls.attributes);
+  DVM_RETURN_IF_ERROR(WriteAttributes(w, cls.attributes));
   return w.Take();
+}
+
+Bytes MustWriteClassFile(const ClassFile& cls) {
+  Result<Bytes> wire = WriteClassFile(cls);
+  if (!wire.ok()) {
+    std::fprintf(stderr, "MustWriteClassFile(%s): %s\n", cls.name().c_str(),
+                 wire.error().ToString().c_str());
+    std::abort();
+  }
+  return std::move(wire).value();
 }
 
 Result<ClassFile> ReadClassFile(const Bytes& data) {
@@ -181,11 +242,21 @@ Result<ClassFile> ReadClassFile(const Bytes& data) {
     DVM_ASSIGN_OR_RETURN(m.name, r.Str());
     DVM_ASSIGN_OR_RETURN(m.descriptor, r.Str());
     DVM_ASSIGN_OR_RETURN(uint8_t has_code, r.U8());
+    // Strict 0/1: any other value would parse but re-serialize differently,
+    // breaking the Write(Read(b)) == b contract this format promises.
+    if (has_code > 1) {
+      return Error{ErrorCode::kParseError, "has_code flag must be 0 or 1"};
+    }
     if (has_code != 0) {
       CodeAttr c;
       DVM_ASSIGN_OR_RETURN(c.max_stack, r.U16());
       DVM_ASSIGN_OR_RETURN(c.max_locals, r.U16());
       DVM_ASSIGN_OR_RETURN(uint32_t code_len, r.U32());
+      // Explicit ceiling so a 4 GB claim fails identically on every stream
+      // size; ByteReader::Raw additionally bounds it by the bytes remaining.
+      if (code_len > kMaxCodeLen) {
+        return TooBig("code length", code_len, kMaxCodeLen);
+      }
       DVM_ASSIGN_OR_RETURN(c.code, r.Raw(code_len));
       DVM_ASSIGN_OR_RETURN(uint16_t handler_count, r.U16());
       for (uint16_t h = 0; h < handler_count; h++) {

@@ -1,6 +1,11 @@
 // Binary (de)serialization of class files — the wire format that the proxy
 // parses, rewrites and regenerates, and that the network simulator charges
 // transfer time for. WriteClassFile(ReadClassFile(b)) == b for well-formed b.
+//
+// Both directions are hardened against hostile input (and hostile in-memory
+// shapes produced by mutation): every count is validated against its field
+// width before it is written, and every attacker-controlled length is checked
+// against the bytes actually remaining before anything is allocated.
 #ifndef SRC_BYTECODE_SERIALIZER_H_
 #define SRC_BYTECODE_SERIALIZER_H_
 
@@ -10,7 +15,29 @@
 
 namespace dvm {
 
-Bytes WriteClassFile(const ClassFile& cls);
+// Hard parse/serialize limits. A class file violating any of them is rejected
+// with kParseError before the offending structure is materialized. The values
+// are far above anything the builder or the workloads produce, but small
+// enough that a hostile length claim cannot drive a large allocation.
+inline constexpr size_t kMaxPoolEntries = 0xFFFF;     // u16 count field
+inline constexpr size_t kMaxMemberCount = 0xFFFF;     // fields/methods/interfaces
+inline constexpr size_t kMaxHandlerCount = 0xFFFF;    // per-method handler table
+inline constexpr size_t kMaxAttrCount = 0xFFFF;       // per-owner attribute table
+inline constexpr uint32_t kMaxCodeLen = 1u << 20;     // 1 MiB of bytecode per method
+inline constexpr uint32_t kMaxAttrDataLen = 1u << 24; // 16 MiB per attribute payload
+
+// Serializes a class. Returns kParseError when any table exceeds its count
+// field width (e.g. a constant pool past 65535 entries, which previously
+// wrapped a u16 loop counter into an infinite loop) or a string constant
+// exceeds its u16 length prefix.
+Result<Bytes> WriteClassFile(const ClassFile& cls);
+
+// Serialization for classes the caller constructed itself (builder output,
+// workload generators, test fixtures) where a failure is a programming error:
+// aborts with a diagnostic instead of returning. Never use on classes derived
+// from untrusted bytes.
+Bytes MustWriteClassFile(const ClassFile& cls);
+
 Result<ClassFile> ReadClassFile(const Bytes& data);
 
 }  // namespace dvm

@@ -198,8 +198,10 @@ Result<FilterOutcome> RepartitionFilter::Apply(ClassFile& cls, const FilterConte
   cold.SetAttribute(kAttrServiceStamp, Bytes{'c', 'o', 'l', 'd'});
   cls.SetAttribute(kAttrServiceStamp, Bytes{'r', 'p', 'r', 't'});
   stats_.classes_split++;
-  stats_.hot_bytes += WriteClassFile(cls).size();
-  stats_.cold_bytes += WriteClassFile(cold).size();
+  DVM_ASSIGN_OR_RETURN(Bytes hot_wire, WriteClassFile(cls));
+  DVM_ASSIGN_OR_RETURN(Bytes cold_wire, WriteClassFile(cold));
+  stats_.hot_bytes += hot_wire.size();
+  stats_.cold_bytes += cold_wire.size();
   outcome.extra_classes.push_back(std::move(cold));
   outcome.modified = true;
   return outcome;

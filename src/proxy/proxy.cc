@@ -193,11 +193,11 @@ Result<ProxyResponse> DvmProxy::Rewrite(RequestContext& ctx) {
   // Generate (and optionally sign) the output binary once.
   if (config_.sign_output) {
     DVM_ASSIGN_OR_RETURN(ClassFile rewritten, ReadClassFile(result.class_bytes));
-    result.class_bytes = signer_.SignedBytes(std::move(rewritten));
+    DVM_ASSIGN_OR_RETURN(result.class_bytes, signer_.SignedBytes(std::move(rewritten)));
     uint64_t signed_bytes = result.class_bytes.size();
     for (auto& [name, data] : result.extra_classes) {
       DVM_ASSIGN_OR_RETURN(ClassFile extra, ReadClassFile(data));
-      data = signer_.SignedBytes(std::move(extra));
+      DVM_ASSIGN_OR_RETURN(data, signer_.SignedBytes(std::move(extra)));
       signed_bytes += data.size();
     }
     ctx.sign_nanos = signed_bytes * config_.nanos_per_byte_sign;

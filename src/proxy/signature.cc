@@ -12,14 +12,16 @@ Md5Digest CodeSigner::Sign(const Bytes& data) const {
   return md5.Finish();
 }
 
-void CodeSigner::AttachSignature(ClassFile* cls) const {
+Status CodeSigner::AttachSignature(ClassFile* cls) const {
   cls->RemoveAttribute(kAttrSignatureDigest);
-  Md5Digest digest = Sign(WriteClassFile(*cls));
+  DVM_ASSIGN_OR_RETURN(Bytes wire, WriteClassFile(*cls));
+  Md5Digest digest = Sign(wire);
   cls->SetAttribute(kAttrSignatureDigest, Bytes(digest.begin(), digest.end()));
+  return Status::Ok();
 }
 
-Bytes CodeSigner::SignedBytes(ClassFile cls) const {
-  AttachSignature(&cls);
+Result<Bytes> CodeSigner::SignedBytes(ClassFile cls) const {
+  DVM_RETURN_IF_ERROR(AttachSignature(&cls));
   return WriteClassFile(cls);
 }
 
@@ -32,7 +34,8 @@ Status CodeSigner::VerifyClassBytes(const Bytes& data) const {
   Md5Digest claimed;
   std::copy(attr->data.begin(), attr->data.end(), claimed.begin());
   cls.RemoveAttribute(kAttrSignatureDigest);
-  Md5Digest actual = Sign(WriteClassFile(cls));
+  DVM_ASSIGN_OR_RETURN(Bytes unsigned_wire, WriteClassFile(cls));
+  Md5Digest actual = Sign(unsigned_wire);
   if (claimed != actual) {
     return Error{ErrorCode::kSecurityError,
                  "signature mismatch on class " + cls.name() + " (code was modified)"};

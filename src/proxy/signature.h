@@ -21,10 +21,11 @@ class CodeSigner {
 
   Md5Digest Sign(const Bytes& data) const;
 
-  // Computes and attaches the signature attribute.
-  void AttachSignature(ClassFile* cls) const;
+  // Computes and attaches the signature attribute. Fails with kParseError if
+  // the class cannot be serialized (oversized tables from hostile rewrites).
+  Status AttachSignature(ClassFile* cls) const;
   // Serializes, signs and returns the bytes in one step.
-  Bytes SignedBytes(ClassFile cls) const;
+  Result<Bytes> SignedBytes(ClassFile cls) const;
 
   // Verifies a serialized class; kSecurityError when unsigned or tampered.
   Status VerifyClassBytes(const Bytes& data) const;

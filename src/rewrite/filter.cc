@@ -26,13 +26,14 @@ Result<PipelineResult> FilterPipeline::Run(ClassFile cls, const std::string& pla
       result.modified = true;
     }
     for (auto& extra : outcome.extra_classes) {
-      result.extra_classes.emplace_back(extra.name(), WriteClassFile(extra));
+      DVM_ASSIGN_OR_RETURN(Bytes extra_bytes, WriteClassFile(extra));
+      result.extra_classes.emplace_back(extra.name(), std::move(extra_bytes));
       result.modified = true;
     }
   }
 
   result.class_name = cls.name();
-  result.class_bytes = WriteClassFile(cls);
+  DVM_ASSIGN_OR_RETURN(result.class_bytes, WriteClassFile(cls));
   return result;
 }
 

@@ -6,7 +6,7 @@
 namespace dvm {
 
 void MapClassProvider::AddClassFile(const ClassFile& cls) {
-  classes_[cls.name()] = WriteClassFile(cls);
+  classes_[cls.name()] = MustWriteClassFile(cls);
 }
 
 Result<Bytes> MapClassProvider::FetchClass(const std::string& class_name) {

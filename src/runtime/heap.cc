@@ -36,11 +36,16 @@ int32_t HeapObject::ArrayLength() const {
   }
 }
 
-Result<ObjRef> Heap::Place(HeapObject obj) {
-  size_t bytes = obj.SizeBytes();
+Status Heap::Reserve(size_t bytes) const {
   if (live_bytes_ + bytes > capacity_bytes_) {
     return Error{ErrorCode::kCapacity, "guest heap exhausted"};
   }
+  return Status::Ok();
+}
+
+Result<ObjRef> Heap::Place(HeapObject obj) {
+  size_t bytes = obj.SizeBytes();
+  DVM_RETURN_IF_ERROR(Reserve(bytes));
   stats_.allocations++;
   stats_.allocated_bytes += bytes;
   live_bytes_ += bytes;
@@ -64,10 +69,15 @@ Result<ObjRef> Heap::AllocInstance(const std::string& class_name, size_t field_c
   return Place(std::move(obj));
 }
 
+// The array allocators check guest-heap capacity BEFORE building the backing
+// store: `ldc 2147483647; newarray` is verifier-legal, and sizing the vector
+// first would physically allocate gigabytes of host memory only to have
+// Place() reject the object afterwards.
 Result<ObjRef> Heap::AllocIntArray(int32_t length) {
   if (length < 0) {
     return Error{ErrorCode::kRuntimeError, "negative array size"};
   }
+  DVM_RETURN_IF_ERROR(Reserve(32 + static_cast<size_t>(length) * 4));
   HeapObject obj;
   obj.kind = HeapObject::Kind::kIntArray;
   obj.class_name = "[I";
@@ -79,6 +89,7 @@ Result<ObjRef> Heap::AllocLongArray(int32_t length) {
   if (length < 0) {
     return Error{ErrorCode::kRuntimeError, "negative array size"};
   }
+  DVM_RETURN_IF_ERROR(Reserve(32 + static_cast<size_t>(length) * 8));
   HeapObject obj;
   obj.kind = HeapObject::Kind::kLongArray;
   obj.class_name = "[J";
@@ -90,6 +101,7 @@ Result<ObjRef> Heap::AllocRefArray(const std::string& descriptor, int32_t length
   if (length < 0) {
     return Error{ErrorCode::kRuntimeError, "negative array size"};
   }
+  DVM_RETURN_IF_ERROR(Reserve(32 + static_cast<size_t>(length) * 4));
   HeapObject obj;
   obj.kind = HeapObject::Kind::kRefArray;
   obj.class_name = descriptor;

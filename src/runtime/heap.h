@@ -66,6 +66,10 @@ class Heap {
   bool NeedsGc(size_t bytes) const { return live_bytes_ + bytes > capacity_bytes_; }
 
  private:
+  // kCapacity unless `bytes` more fit under the heap limit. Array allocators
+  // call this before sizing the backing store so a huge verifier-legal length
+  // (`newarray` with INT32_MAX) never drives a matching host allocation.
+  Status Reserve(size_t bytes) const;
   Result<ObjRef> Place(HeapObject obj);
   void Mark(ObjRef ref);
 

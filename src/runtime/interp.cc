@@ -656,6 +656,12 @@ Status Interpreter::Step() {
         machine_.ThrowGuest("java/lang/ArithmeticException", "/ by zero");
         break;
       }
+      // INT64_MIN / -1 overflows (hardware trap on x86); the JVM defines it as
+      // INT64_MIN with remainder 0, and there is no wider type to widen into.
+      if (a == INT64_MIN && b == -1) {
+        stack.push_back(Value::Long(instr.op == Op::kLdiv ? INT64_MIN : 0));
+        break;
+      }
       stack.push_back(Value::Long(instr.op == Op::kLdiv ? a / b : a % b));
       break;
     }
@@ -673,7 +679,9 @@ Status Interpreter::Step() {
     }
     case Op::kIinc: {
       Value& local = f.locals[static_cast<size_t>(instr.a)];
-      local = Value::Int(local.AsInt() + instr.b);
+      // Unsigned add: iinc at INT32_MAX wraps per JVM semantics, not UB.
+      local = Value::Int(static_cast<int32_t>(static_cast<uint32_t>(local.AsInt()) +
+                                              static_cast<uint32_t>(instr.b)));
       break;
     }
     case Op::kI2l: {

@@ -116,14 +116,24 @@ Status InjectClassChecks(ClassFile& cls, const std::vector<const Assumption*>& a
 
 }  // namespace
 
-ClassFile BuildVerifyErrorClass(const ClassFile& original, const std::string& message) {
+Result<ClassFile> BuildVerifyErrorClass(const ClassFile& original, const std::string& message) {
   ClassBuilder cb(original.name(), "java/lang/Object", original.access_flags);
   // Preserve the field surface so other classes' link checks still pass; the
-  // methods are the enforcement point.
+  // methods are the enforcement point. Members whose descriptors do not parse
+  // are dropped: link resolution parses descriptors too, so nothing can ever
+  // bind to them, and MethodBuilder would (rightly) refuse to assemble a body
+  // for a malformed signature. Rejected input is adversarial by definition —
+  // the stand-in must be buildable for *any* parseable class.
   for (const auto& f : original.fields) {
+    if (!IsValidTypeDescriptor(f.descriptor)) {
+      continue;
+    }
     cb.AddField(f.access_flags, f.name, f.descriptor);
   }
   for (const auto& m : original.methods) {
+    if (!ParseMethodDescriptor(m.descriptor).ok()) {
+      continue;
+    }
     if (m.IsAbstract()) {
       cb.AddAbstractMethod(m.access_flags, m.name, m.descriptor);
       continue;
@@ -134,13 +144,7 @@ ClassFile BuildVerifyErrorClass(const ClassFile& original, const std::string& me
     mb.InvokeSpecial("java/lang/VerifyError", "<init>", "(Ljava/lang/String;)V");
     mb.Emit(Op::kAthrow);
   }
-  auto built = cb.Build();
-  // Building from a parsed class cannot fail structurally; abort loudly if the
-  // invariant is violated rather than ship a half-built stand-in.
-  if (!built.ok()) {
-    std::abort();  // LCOV_EXCL_LINE
-  }
-  ClassFile out = std::move(built).value();
+  DVM_ASSIGN_OR_RETURN(ClassFile out, cb.Build());
   out.SetAttribute(kAttrServiceStamp, Bytes{'v', 'e', 'r', 'r'});
   return out;
 }
@@ -158,7 +162,7 @@ Result<FilterOutcome> VerificationFilter::Apply(ClassFile& cls, const FilterCont
       return verified.error();
     }
     stats_.classes_rejected++;
-    outcome.replacement = BuildVerifyErrorClass(cls, verified.error().message);
+    DVM_ASSIGN_OR_RETURN(outcome.replacement, BuildVerifyErrorClass(cls, verified.error().message));
     outcome.modified = true;
     outcome.checks_performed = 1;
     return outcome;

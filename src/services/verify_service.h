@@ -41,9 +41,13 @@ class VerificationFilter : public CodeFilter {
   VerifyFilterStats stats_;
 };
 
-// Builds the error-raising stand-in for a class that failed verification. Every
-// method of the original is present and raises VerifyError with `message`.
-ClassFile BuildVerifyErrorClass(const ClassFile& original, const std::string& message);
+// Builds the error-raising stand-in for a class that failed verification.
+// Every method of the original with a well-formed descriptor is present and
+// raises VerifyError with `message`; members with malformed descriptors (which
+// nothing can ever link against) are dropped so the stand-in is buildable for
+// any parseable input class. Fails with a typed error — never aborts — if the
+// stand-in cannot be assembled.
+Result<ClassFile> BuildVerifyErrorClass(const ClassFile& original, const std::string& message);
 
 // Client side: binds the dvm/rt/RTVerifier natives. Each check resolves the
 // named class through the machine's registry (faulting it in if necessary),

@@ -53,14 +53,14 @@ Error ByteReader::Truncated(const char* what) const {
 }
 
 Result<uint8_t> ByteReader::U8() {
-  if (pos_ + 1 > size_) {
+  if (remaining() < 1) {
     return Truncated("u8");
   }
   return data_[pos_++];
 }
 
 Result<uint16_t> ByteReader::U16() {
-  if (pos_ + 2 > size_) {
+  if (remaining() < 2) {
     return Truncated("u16");
   }
   uint16_t v = static_cast<uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
@@ -69,7 +69,7 @@ Result<uint16_t> ByteReader::U16() {
 }
 
 Result<uint32_t> ByteReader::U32() {
-  if (pos_ + 4 > size_) {
+  if (remaining() < 4) {
     return Truncated("u32");
   }
   uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
@@ -97,8 +97,10 @@ Result<int64_t> ByteReader::I64() {
 }
 
 Result<std::string> ByteReader::Str() {
+  // The length is attacker controlled: compare against the bytes actually
+  // remaining (overflow-proof form) *before* touching the body.
   DVM_ASSIGN_OR_RETURN(uint16_t len, U16());
-  if (pos_ + len > size_) {
+  if (remaining() < len) {
     return Truncated("string body");
   }
   std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
@@ -107,7 +109,10 @@ Result<std::string> ByteReader::Str() {
 }
 
 Result<Bytes> ByteReader::Raw(size_t len) {
-  if (pos_ + len > size_) {
+  // Bounds check first, allocation second: a 4 GB length claim in a 100-byte
+  // stream must fail fast rather than attempt the allocation. `remaining() <
+  // len` cannot overflow, unlike `pos_ + len > size_`.
+  if (remaining() < len) {
     return Truncated("raw bytes");
   }
   Bytes out(data_ + pos_, data_ + pos_ + len);
@@ -116,7 +121,7 @@ Result<Bytes> ByteReader::Raw(size_t len) {
 }
 
 Status ByteReader::Skip(size_t n) {
-  if (pos_ + n > size_) {
+  if (remaining() < n) {
     return Truncated("skip");
   }
   pos_ += n;

@@ -113,6 +113,20 @@ Result<MethodCode> Phase2(const ClassFile& cls, const MethodInfo& method, Verify
     return Verr("empty code in " + method.Id());
   }
 
+  // The dataflow entry frame writes one local slot per receiver + parameter;
+  // a hostile max_locals smaller than that would make those writes land out
+  // of bounds, so it is rejected here before any frame is materialized.
+  check();
+  auto sig = ParseMethodDescriptor(method.descriptor);
+  if (!sig.ok()) {
+    return Verr("method " + method.Id() + " has malformed descriptor");
+  }
+  size_t entry_slots = (method.IsStatic() ? 0 : 1) + sig->params.size();
+  if (entry_slots > code.max_locals) {
+    return Verr("max_locals " + std::to_string(code.max_locals) + " cannot hold " +
+                std::to_string(entry_slots) + " parameter slots in " + method.Id());
+  }
+
   // DecodeCode performs opcode validity, truncation and branch-boundary checks.
   check();
   DVM_ASSIGN_OR_RETURN(std::vector<Instr> instrs, DecodeCode(code.code));

@@ -220,7 +220,7 @@ ClassFile BuildMainClass(const AppSpec& spec) {
 uint64_t AppBundle::TotalBytes() const {
   uint64_t bytes = 0;
   for (const auto& cls : classes) {
-    bytes += WriteClassFile(cls).size();
+    bytes += MustWriteClassFile(cls).size();
   }
   return bytes;
 }

@@ -304,7 +304,7 @@ TEST(BuilderTest, NativeAndAbstractMethods) {
 
 TEST(SerializerTest, RoundTripsClass) {
   ClassFile cls = BuildCounterClass();
-  Bytes data = WriteClassFile(cls);
+  Bytes data = MustWriteClassFile(cls);
   auto back = ReadClassFile(data);
   ASSERT_TRUE(back.ok()) << back.error().ToString();
   EXPECT_EQ(back->name(), "test/Counter");
@@ -313,7 +313,7 @@ TEST(SerializerTest, RoundTripsClass) {
   ASSERT_NE(m, nullptr);
   EXPECT_EQ(m->code->code, cls.FindMethod("sumTo", "(I)I")->code->code);
   // Second serialization is byte-identical.
-  EXPECT_EQ(WriteClassFile(*back), data);
+  EXPECT_EQ(MustWriteClassFile(*back), data);
 }
 
 TEST(SerializerTest, RoundTripsAttributes) {
@@ -322,7 +322,7 @@ TEST(SerializerTest, RoundTripsAttributes) {
   ASSERT_TRUE(built.ok());
   ClassFile cls = std::move(built).value();
   cls.SetAttribute(kAttrSignatureDigest, Bytes{1, 2, 3});
-  Bytes data = WriteClassFile(cls);
+  Bytes data = MustWriteClassFile(cls);
   auto back = ReadClassFile(data);
   ASSERT_TRUE(back.ok());
   const Attribute* attr = back->FindAttribute(kAttrSignatureDigest);
@@ -331,19 +331,19 @@ TEST(SerializerTest, RoundTripsAttributes) {
 }
 
 TEST(SerializerTest, RejectsBadMagic) {
-  Bytes data = WriteClassFile(BuildCounterClass());
+  Bytes data = MustWriteClassFile(BuildCounterClass());
   data[0] ^= 0xFF;
   EXPECT_FALSE(ReadClassFile(data).ok());
 }
 
 TEST(SerializerTest, RejectsTrailingGarbage) {
-  Bytes data = WriteClassFile(BuildCounterClass());
+  Bytes data = MustWriteClassFile(BuildCounterClass());
   data.push_back(0);
   EXPECT_FALSE(ReadClassFile(data).ok());
 }
 
 TEST(SerializerTest, RejectsTruncation) {
-  Bytes data = WriteClassFile(BuildCounterClass());
+  Bytes data = MustWriteClassFile(BuildCounterClass());
   for (size_t cut : {size_t{1}, data.size() / 2, data.size() - 1}) {
     Bytes truncated(data.begin(), data.begin() + static_cast<long>(cut));
     EXPECT_FALSE(ReadClassFile(truncated).ok()) << "cut at " << cut;

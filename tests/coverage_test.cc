@@ -227,9 +227,9 @@ TEST(ProviderEdgeTest, ResigningReplacesOldSignature) {
   CodeSigner signer("key");
   ClassBuilder cb("sig/Twice", "java/lang/Object");
   ClassFile cls = cb.Build().value();
-  signer.AttachSignature(&cls);
-  signer.AttachSignature(&cls);  // second signature over the unsigned form
-  EXPECT_TRUE(signer.VerifyClassBytes(WriteClassFile(cls)).ok());
+  ASSERT_TRUE(signer.AttachSignature(&cls).ok());
+  ASSERT_TRUE(signer.AttachSignature(&cls).ok());  // second signature over the unsigned form
+  EXPECT_TRUE(signer.VerifyClassBytes(MustWriteClassFile(cls)).ok());
 }
 
 // --- audit batching ---------------------------------------------------------------

@@ -175,10 +175,10 @@ TEST_P(RandomProgramTest, VerifiesSerializesRunsDeterministically) {
   ASSERT_TRUE(verified.ok()) << verified.error().ToString();
 
   // Serializer round-trip is byte-stable.
-  Bytes wire = WriteClassFile(cls);
+  Bytes wire = MustWriteClassFile(cls);
   auto back = ReadClassFile(wire);
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(WriteClassFile(*back), wire);
+  EXPECT_EQ(MustWriteClassFile(*back), wire);
 
   // Runs cleanly and deterministically.
   auto run = [&cls](int arg) {
@@ -216,7 +216,7 @@ class MutationTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(MutationTest, CorruptClassFilesNeverCrashTheStack) {
   ClassFile cls = GenerateRandomProgram(GetParam());
-  Bytes wire = WriteClassFile(cls);
+  Bytes wire = MustWriteClassFile(cls);
 
   Rng rng(GetParam() * 7919 + 13);
   for (int trial = 0; trial < 60; trial++) {

@@ -29,7 +29,7 @@ ClassFile SimpleClass(const std::string& name) {
 TEST(CodeSignerTest, SignAndVerifyRoundTrip) {
   CodeSigner signer("org-key");
   ClassBuilder cb("sig/C", "java/lang/Object");
-  Bytes signed_bytes = signer.SignedBytes(MustBuild(cb));
+  Bytes signed_bytes = signer.SignedBytes(MustBuild(cb)).value();
   EXPECT_TRUE(signer.VerifyClassBytes(signed_bytes).ok());
 }
 
@@ -37,7 +37,7 @@ TEST(CodeSignerTest, DetectsTampering) {
   CodeSigner signer("org-key");
   ClassBuilder cb("sig/C", "java/lang/Object");
   cb.AddField(AccessFlags::kPublic, "f", "I");
-  Bytes signed_bytes = signer.SignedBytes(MustBuild(cb));
+  Bytes signed_bytes = signer.SignedBytes(MustBuild(cb)).value();
   // Flip a byte somewhere in the middle (not in the signature itself).
   signed_bytes[signed_bytes.size() / 3] ^= 0x01;
   auto status = signer.VerifyClassBytes(signed_bytes);
@@ -49,10 +49,10 @@ TEST(CodeSignerTest, RejectsUnsignedAndWrongKey) {
   CodeSigner signer("org-key");
   ClassBuilder cb("sig/C", "java/lang/Object");
   ClassFile cls = MustBuild(cb);
-  EXPECT_FALSE(signer.VerifyClassBytes(WriteClassFile(cls)).ok());
+  EXPECT_FALSE(signer.VerifyClassBytes(MustWriteClassFile(cls)).ok());
 
   CodeSigner other("evil-key");
-  Bytes foreign = other.SignedBytes(std::move(cls));
+  Bytes foreign = other.SignedBytes(std::move(cls)).value();
   EXPECT_FALSE(signer.VerifyClassBytes(foreign).ok());
 }
 

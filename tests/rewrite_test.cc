@@ -235,7 +235,7 @@ TEST(FilterPipelineTest, ParsesBytesOnce) {
   FilterPipeline pipeline(&env);
   ClassBuilder cb("rw/Bytes", "java/lang/Object");
   ClassFile cls = MustBuild(cb);
-  auto result = pipeline.Run(WriteClassFile(cls));
+  auto result = pipeline.Run(MustWriteClassFile(cls));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->class_name, "rw/Bytes");
 }

@@ -43,7 +43,7 @@ class ServiceTest : public ::testing::Test {
       }
       if (extra != nullptr) {
         for (auto& e : outcome->extra_classes) {
-          extra->emplace_back(e.name(), WriteClassFile(e));
+          extra->emplace_back(e.name(), MustWriteClassFile(e));
         }
       }
     }
@@ -196,9 +196,9 @@ TEST_F(ServiceTest, SystemClassesAreNotTouched) {
   VerificationFilter filter;
   ClassBuilder cb("java/lang/Custom", "java/lang/Object");
   ClassFile cls = MustBuild(cb);
-  Bytes before = WriteClassFile(cls);
+  Bytes before = MustWriteClassFile(cls);
   ClassFile after = RunFilter(filter, std::move(cls));
-  EXPECT_EQ(WriteClassFile(after), before);
+  EXPECT_EQ(MustWriteClassFile(after), before);
   EXPECT_EQ(filter.stats().classes_verified, 0u);
 }
 

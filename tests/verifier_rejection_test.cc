@@ -21,6 +21,8 @@ struct RejectionCase {
   uint16_t max_locals;
 };
 
+std::vector<Instr> JustReturn(ConstantPool&) { return {{Op::kReturn, 0, 0}}; }
+
 std::vector<Instr> StackUnderflow(ConstantPool&) {
   return {{Op::kPop, 0, 0}, {Op::kReturn, 0, 0}};
 }
@@ -136,6 +138,10 @@ const RejectionCase kCases[] = {
     {"MonitorOnInt", "()V", MonitorOnInt, 4, 2},
     {"LocalIndexOutOfRange", "()V", LocalIndexOutOfRange, 4, 2},
     {"StoreRefReadInt", "()V", StoreRefReadInt, 4, 2},
+    // Fuzz-found (tests/corpus/entry_frame_oob.bin): three int parameters but
+    // max_locals 0 — the verifier formerly wrote the entry frame out of
+    // bounds while constructing it.
+    {"ParamsExceedMaxLocals", "(III)V", JustReturn, 0, 0},
 };
 
 class VerifierRejectionTest : public ::testing::TestWithParam<RejectionCase> {};
@@ -174,6 +180,73 @@ INSTANTIATE_TEST_SUITE_P(Exploits, VerifierRejectionTest, ::testing::ValuesIn(kC
                          [](const ::testing::TestParamInfo<RejectionCase>& info) {
                            return info.param.name;
                          });
+
+// ---------------------------------------------------------------------------
+// Fuzz-found shapes that don't fit the body-table (they corrupt handlers or
+// descriptors rather than the instruction stream). Each mirrors a minimized
+// input in tests/corpus/.
+// ---------------------------------------------------------------------------
+
+// Hand-assembles evil/E with a raw body and handler table, then verifies it
+// against the system library. Returns the verifier's verdict.
+Result<VerifiedClass> VerifyHandAssembled(const std::vector<Instr>& body,
+                                          std::vector<ExceptionHandler> handlers,
+                                          const char* descriptor = "()V") {
+  ClassBuilder cb("evil/E", "java/lang/Object");
+  cb.AddMethod(AccessFlags::kStatic | AccessFlags::kPublic, "f", descriptor)
+      .Emit(Op::kReturn);
+  ClassFile cls = cb.Build().value();
+  MethodInfo* method = cls.FindMethod("f", descriptor);
+  method->code->code = EncodeCode(body).value();
+  method->code->max_stack = 4;
+  method->code->max_locals = 2;
+  method->code->handlers = std::move(handlers);
+
+  static const std::vector<ClassFile>* library =
+      new std::vector<ClassFile>(BuildSystemLibrary());
+  MapClassEnv env;
+  for (const auto& lib_cls : *library) {
+    env.Add(&lib_cls);
+  }
+  return VerifyClass(cls, env);
+}
+
+// tests/corpus/handler_inverted.bin: start_pc >= end_pc protects nothing and
+// signals a corrupted table.
+TEST(VerifierHandlerRejection, InvertedHandlerRange) {
+  std::vector<Instr> body = {{Op::kIconst0, 0, 0}, {Op::kPop, 0, 0}, {Op::kReturn, 0, 0}};
+  auto verified = VerifyHandAssembled(body, {{/*start=*/2, /*end=*/1, /*handler=*/0, 0}});
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.error().code, ErrorCode::kVerifyError) << verified.error().ToString();
+}
+
+// tests/corpus/handler_mid_instruction.bin: handler_pc lands inside a bipush,
+// so dispatching there would re-interpret an operand byte as an opcode.
+TEST(VerifierHandlerRejection, HandlerPcMidInstruction) {
+  std::vector<Instr> body = {{Op::kBipush, 5, 0}, {Op::kPop, 0, 0}, {Op::kReturn, 0, 0}};
+  auto verified = VerifyHandAssembled(body, {{/*start=*/0, /*end=*/3, /*handler=*/1, 0}});
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.error().code, ErrorCode::kVerifyError) << verified.error().ToString();
+}
+
+// tests/corpus/malformed_method_descriptor.bin: a descriptor that does not
+// parse must be rejected in phase 1, before any dataflow runs.
+TEST(VerifierHandlerRejection, MalformedMethodDescriptor) {
+  ClassBuilder cb("evil/E", "java/lang/Object");
+  cb.AddMethod(AccessFlags::kStatic | AccessFlags::kPublic, "f", "()V").Emit(Op::kReturn);
+  ClassFile cls = cb.Build().value();
+  cls.FindMethod("f", "()V")->descriptor = "(\x03";
+
+  static const std::vector<ClassFile>* library =
+      new std::vector<ClassFile>(BuildSystemLibrary());
+  MapClassEnv env;
+  for (const auto& lib_cls : *library) {
+    env.Add(&lib_cls);
+  }
+  auto verified = VerifyClass(cls, env);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.error().code, ErrorCode::kVerifyError) << verified.error().ToString();
+}
 
 }  // namespace
 }  // namespace dvm

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "dvmasm: %s\n", cls.error().ToString().c_str());
     return 1;
   }
-  Bytes data = WriteClassFile(*cls);
+  Bytes data = MustWriteClassFile(*cls);
   std::ofstream out(argv[2], std::ios::binary);
   if (!out) {
     std::fprintf(stderr, "dvmasm: cannot write %s\n", argv[2]);

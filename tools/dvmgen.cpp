@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
 
   uint64_t total = 0;
   for (const auto& cls : bundle.classes) {
-    Bytes data = WriteClassFile(cls);
+    Bytes data = MustWriteClassFile(cls);
     std::string file_name = cls.name();
     for (char& c : file_name) {
       if (c == '/') {
