@@ -1,0 +1,317 @@
+// Interpreter microbenchmarks: host wall-clock cost per executed bytecode for
+// the quickened/threaded engine vs. the reference switch interpreter
+// (DESIGN.md §11). Four dispatch-heavy kernels isolate the costs the
+// quickening overhaul attacks: raw dispatch (tight int loop), invokevirtual
+// resolution + frame setup (virtual-call chain), field access resolution
+// (get/put churn), and exception-table unwinding.
+//
+// Unlike the figure benchmarks, this one measures REAL nanoseconds, not the
+// virtual clock — the virtual clock is engine-invariant by design.
+//
+// Flags:
+//   --json [path]   also write machine-readable results (default
+//                   BENCH_interp.json in the working directory)
+//   --no-quicken    only run the reference engine
+//   --check         exit 1 unless the quickened engine beats the reference
+//                   engine on the dispatch kernel (CI perf smoke)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/bytecode/builder.h"
+#include "src/runtime/interp.h"
+#include "src/runtime/machine.h"
+#include "src/runtime/syslib.h"
+
+namespace dvm {
+namespace {
+
+constexpr int kLoopIterations = 300'000;
+constexpr int kCallIterations = 100'000;
+constexpr int kFieldIterations = 150'000;
+constexpr int kThrowIterations = 30'000;
+
+// s = 0; for (i = 0; i < n; i++) s += i ^ (s << 1); return s — pure stack
+// arithmetic and branches, the dispatch-loop worst case.
+void AddIntLoop(ClassBuilder& cb) {
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "intLoop", "()I");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.PushInt(0).StoreLocal("I", 0);  // s
+  m.PushInt(0).StoreLocal("I", 1);  // i
+  m.Bind(loop);
+  m.LoadLocal("I", 1).PushInt(kLoopIterations).Branch(Op::kIfIcmpge, done);
+  m.LoadLocal("I", 0).LoadLocal("I", 1);
+  m.LoadLocal("I", 0).PushInt(1).Emit(Op::kIshl).Emit(Op::kIxor);
+  m.Emit(Op::kIadd).StoreLocal("I", 0);
+  m.Emit(Op::kIinc, 1, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).LoadLocal("I", 0).Emit(Op::kIreturn);
+}
+
+// for (i = 0; i < n; i++) s = node.step(s) — a monomorphic invokevirtual per
+// iteration; exercises the receiver cache and the sliced call frames.
+void AddCallChain(ClassBuilder& cb) {
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "callChain", "()I");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.New("bench/Node").Emit(Op::kDup).InvokeSpecial("bench/Node", "<init>", "()V");
+  m.StoreLocal("L", 0);             // node
+  m.PushInt(0).StoreLocal("I", 1);  // s
+  m.PushInt(0).StoreLocal("I", 2);  // i
+  m.Bind(loop);
+  m.LoadLocal("I", 2).PushInt(kCallIterations).Branch(Op::kIfIcmpge, done);
+  m.LoadLocal("L", 0).LoadLocal("I", 1);
+  m.InvokeVirtual("bench/Node", "step", "(I)I").StoreLocal("I", 1);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).LoadLocal("I", 1).Emit(Op::kIreturn);
+}
+
+// for (i = 0; i < n; i++) node.value = node.value + i — a getfield and a
+// putfield per iteration through the same two sites.
+void AddFieldChurn(ClassBuilder& cb) {
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "fieldChurn", "()I");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.New("bench/Node").Emit(Op::kDup).InvokeSpecial("bench/Node", "<init>", "()V");
+  m.StoreLocal("L", 0);
+  m.PushInt(0).StoreLocal("I", 1);  // i
+  m.Bind(loop);
+  m.LoadLocal("I", 1).PushInt(kFieldIterations).Branch(Op::kIfIcmpge, done);
+  m.LoadLocal("L", 0);
+  m.LoadLocal("L", 0).GetField("bench/Node", "value", "I");
+  m.LoadLocal("I", 1).Emit(Op::kIadd);
+  m.PutField("bench/Node", "value", "I");
+  m.Emit(Op::kIinc, 1, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).LoadLocal("L", 0).GetField("bench/Node", "value", "I").Emit(Op::kIreturn);
+}
+
+// for (i = 0; i < n; i++) { try { throw } catch { s++ } } — allocation, athrow
+// and handler-table dispatch per iteration.
+void AddThrowCatch(ClassBuilder& cb) {
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "throwCatch", "()I");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  Label start = m.NewLabel(), end = m.NewLabel(), handler = m.NewLabel(), next = m.NewLabel();
+  m.PushInt(0).StoreLocal("I", 0);  // s
+  m.PushInt(0).StoreLocal("I", 1);  // i
+  m.Bind(loop);
+  m.LoadLocal("I", 1).PushInt(kThrowIterations).Branch(Op::kIfIcmpge, done);
+  m.Bind(start);
+  m.New("java/lang/RuntimeException").Emit(Op::kDup);
+  m.InvokeSpecial("java/lang/RuntimeException", "<init>", "()V");
+  m.Emit(Op::kAthrow);
+  m.Bind(end);
+  m.Bind(handler).Emit(Op::kPop);
+  m.Emit(Op::kIinc, 0, 1);
+  m.Bind(next);
+  m.Emit(Op::kIinc, 1, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).LoadLocal("I", 0).Emit(Op::kIreturn);
+  m.AddHandler(start, end, handler, "java/lang/RuntimeException");
+}
+
+struct Kernel {
+  std::string name;
+  std::string method;
+};
+
+const std::vector<Kernel>& Kernels() {
+  static const std::vector<Kernel> kernels = {
+      {"int_loop", "intLoop"},
+      {"virtual_calls", "callChain"},
+      {"field_churn", "fieldChurn"},
+      {"throw_catch", "throwCatch"},
+  };
+  return kernels;
+}
+
+void InstallBenchClasses(MapClassProvider& provider) {
+  ClassBuilder node("bench/Node", "java/lang/Object");
+  node.AddField(AccessFlags::kPublic, "value", "I");
+  node.AddDefaultConstructor();
+  MethodBuilder& step = node.AddMethod(AccessFlags::kPublic, "step", "(I)I");
+  step.LoadLocal("I", 1).PushInt(3).Emit(Op::kIadd);
+  step.LoadLocal("L", 0).GetField("bench/Node", "value", "I").Emit(Op::kIxor);
+  step.Emit(Op::kIreturn);
+  provider.AddClassFile(node.Build().value());
+
+  ClassBuilder cb("bench/Kernels", "java/lang/Object");
+  AddIntLoop(cb);
+  AddCallChain(cb);
+  AddFieldChurn(cb);
+  AddThrowCatch(cb);
+  provider.AddClassFile(cb.Build().value());
+}
+
+struct Measurement {
+  double ns_per_op = 0;     // host nanoseconds per executed bytecode
+  double millis = 0;        // host milliseconds for the measured run
+  uint64_t instructions = 0;
+};
+
+// One warm-up run installs the quick forms (and faults in the prepared code
+// for the reference engine); the second run is timed.
+Measurement MeasureKernel(bool quicken, const Kernel& kernel) {
+  MapClassProvider provider;
+  InstallSystemLibrary(provider);
+  InstallBenchClasses(provider);
+  MachineConfig config;
+  config.quicken = quicken;
+  Machine machine(config, &provider);
+
+  auto warm = machine.CallStatic("bench/Kernels", kernel.method, "()I");
+  if (!warm.ok() || warm->threw) {
+    std::fprintf(stderr, "kernel %s failed: %s\n", kernel.name.c_str(),
+                 warm.ok() ? warm->exception_class.c_str() : warm.error().ToString().c_str());
+    std::abort();
+  }
+  uint64_t before = machine.counters().instructions;
+  auto t0 = std::chrono::steady_clock::now();
+  auto run = machine.CallStatic("bench/Kernels", kernel.method, "()I");
+  auto t1 = std::chrono::steady_clock::now();
+  if (!run.ok() || run->threw || run->value.num != warm->value.num) {
+    std::fprintf(stderr, "kernel %s diverged between runs\n", kernel.name.c_str());
+    std::abort();
+  }
+  Measurement out;
+  out.instructions = machine.counters().instructions - before;
+  double nanos = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  out.millis = nanos / 1e6;
+  out.ns_per_op = nanos / static_cast<double>(out.instructions);
+  return out;
+}
+
+// Full Figure 5 application (synthetic JLex) under each engine: the
+// end-to-end "measurable win on the paper's workloads" number, as opposed to
+// the isolated kernels above.
+Measurement MeasureFig5App(bool quicken) {
+  AppBundle app = BuildJlexApp(/*work_scale=*/2);
+  MapClassProvider provider;
+  InstallSystemLibrary(provider);
+  app.InstallInto(&provider);
+  MachineConfig config;
+  config.quicken = quicken;
+  Machine machine(config, &provider);
+
+  auto warm = machine.RunMain(app.main_class);
+  if (!warm.ok() || warm->threw) {
+    std::fprintf(stderr, "fig5 app failed under quicken=%d\n", quicken);
+    std::abort();
+  }
+  uint64_t before = machine.counters().instructions;
+  auto t0 = std::chrono::steady_clock::now();
+  auto run = machine.RunMain(app.main_class);
+  auto t1 = std::chrono::steady_clock::now();
+  if (!run.ok() || run->threw) {
+    std::abort();
+  }
+  Measurement out;
+  out.instructions = machine.counters().instructions - before;
+  double nanos = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  out.millis = nanos / 1e6;
+  out.ns_per_op = nanos / static_cast<double>(out.instructions);
+  return out;
+}
+
+}  // namespace
+}  // namespace dvm
+
+int main(int argc, char** argv) {
+  using namespace dvm;
+  bool json = false;
+  bool check = false;
+  bool quickened_engine = true;
+  std::string json_path = "BENCH_interp.json";
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        json_path = argv[++i];
+      }
+    } else if (std::strcmp(argv[i], "--no-quicken") == 0) {
+      quickened_engine = false;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    }
+  }
+
+  bench::PrintHeader("Interpreter microbenchmarks: quickened vs reference engine",
+                     "client-side execution cost underlying Figures 7-9");
+  std::printf("dispatch mode: %s (DVM_THREADED_DISPATCH %s)\n\n",
+              InterpreterDispatchMode(),
+              std::strcmp(InterpreterDispatchMode(), "threaded") == 0 ? "on" : "off");
+  bench::PrintRow({"kernel", "quick ns/op", "ref ns/op", "speedup", "instrs"});
+
+  double dispatch_speedup = 0;
+  std::string rows;
+  for (const Kernel& kernel : Kernels()) {
+    Measurement quick{};
+    if (quickened_engine) {
+      quick = MeasureKernel(/*quicken=*/true, kernel);
+    }
+    Measurement reference = MeasureKernel(/*quicken=*/false, kernel);
+    double speedup =
+        quickened_engine && quick.ns_per_op > 0 ? reference.ns_per_op / quick.ns_per_op : 0;
+    if (kernel.name == "int_loop") {
+      dispatch_speedup = speedup;
+    }
+    bench::PrintRow({kernel.name,
+                     quickened_engine ? bench::FmtDouble(quick.ns_per_op, 2) : "-",
+                     bench::FmtDouble(reference.ns_per_op, 2),
+                     quickened_engine ? bench::FmtDouble(speedup, 2) + "x" : "-",
+                     std::to_string(reference.instructions)});
+    if (!rows.empty()) {
+      rows += ",\n";
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"kernel\": \"%s\", \"quickened_ns_per_op\": %.3f, "
+                  "\"reference_ns_per_op\": %.3f, \"speedup\": %.3f, "
+                  "\"instructions\": %llu}",
+                  kernel.name.c_str(), quick.ns_per_op, reference.ns_per_op, speedup,
+                  static_cast<unsigned long long>(reference.instructions));
+    rows += buf;
+  }
+
+  {
+    Measurement quick{};
+    if (quickened_engine) {
+      quick = MeasureFig5App(/*quicken=*/true);
+    }
+    Measurement reference = MeasureFig5App(/*quicken=*/false);
+    double speedup =
+        quickened_engine && quick.ns_per_op > 0 ? reference.ns_per_op / quick.ns_per_op : 0;
+    bench::PrintRow({"fig5_jlex",
+                     quickened_engine ? bench::FmtDouble(quick.ns_per_op, 2) : "-",
+                     bench::FmtDouble(reference.ns_per_op, 2),
+                     quickened_engine ? bench::FmtDouble(speedup, 2) + "x" : "-",
+                     std::to_string(reference.instructions)});
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"kernel\": \"fig5_jlex\", \"quickened_ns_per_op\": %.3f, "
+                  "\"reference_ns_per_op\": %.3f, \"speedup\": %.3f, "
+                  "\"instructions\": %llu}",
+                  quick.ns_per_op, reference.ns_per_op, speedup,
+                  static_cast<unsigned long long>(reference.instructions));
+    rows += ",\n";
+    rows += buf;
+  }
+
+  if (json) {
+    std::ofstream out(json_path);
+    out << "{\n  \"benchmark\": \"bench_interp\",\n  \"dispatch_mode\": \""
+        << InterpreterDispatchMode() << "\",\n  \"kernels\": [\n"
+        << rows << "\n  ]\n}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (check && quickened_engine && dispatch_speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "PERF CHECK FAILED: quickened engine not faster on int_loop "
+                 "(speedup %.3fx)\n",
+                 dispatch_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -113,17 +113,26 @@ std::string CheckDifferential(const Bytes& data) {
   // Accepted: the paper's claim is now on the line. Execute every static
   // niladic method under a bounded machine modelling a DVM client (no local
   // verifier). Sanitizers catch memory unsafety; the benign-error filter
-  // below catches semantic unsoundness that stays in-bounds.
-  MapClassProvider provider;
-  InstallSystemLibrary(provider);
-  provider.Add(cls.name(), data);
+  // below catches semantic unsoundness that stays in-bounds. Every method runs
+  // on BOTH execution engines — quickened (default) and the reference
+  // interpreter — in lockstep, so hostile inputs also exercise the quick
+  // opcode paths and any engine divergence is a violation.
+  MapClassProvider provider_quick;
+  InstallSystemLibrary(provider_quick);
+  provider_quick.Add(cls.name(), data);
+  MapClassProvider provider_ref;
+  InstallSystemLibrary(provider_ref);
+  provider_ref.Add(cls.name(), data);
 
   MachineConfig config;
   config.verify_on_load = false;
   config.heap_capacity_bytes = 8 * 1024 * 1024;
   config.max_frames = 64;
   config.max_instructions = 200'000;
-  Machine machine(config, &provider);
+  config.quicken = true;
+  Machine quick(config, &provider_quick);
+  config.quicken = false;
+  Machine reference(config, &provider_ref);
 
   for (const MethodInfo& method : cls.methods) {
     if (!method.IsStatic() || !method.code.has_value()) {
@@ -133,13 +142,53 @@ std::string CheckDifferential(const Bytes& data) {
     if (!sig.ok() || !sig->params.empty()) {
       continue;
     }
-    auto outcome = machine.CallStatic(cls.name(), method.name, method.descriptor);
+    auto outcome = quick.CallStatic(cls.name(), method.name, method.descriptor);
+    auto baseline = reference.CallStatic(cls.name(), method.name, method.descriptor);
     // Guest exceptions (outcome.threw) are safe by construction; only host
     // errors can falsify the invariant.
     if (!outcome.ok() && !IsBenignHostError(outcome.error())) {
       return "verifier accepted " + cls.name() + "." + method.Id() +
              " but execution hit host error: " + outcome.error().ToString();
     }
+    if (!baseline.ok() && !IsBenignHostError(baseline.error())) {
+      return "verifier accepted " + cls.name() + "." + method.Id() +
+             " but the reference engine hit host error: " + baseline.error().ToString();
+    }
+    if (outcome.ok() != baseline.ok()) {
+      return "engine divergence on " + cls.name() + "." + method.Id() + ": quickened " +
+             (outcome.ok() ? "succeeded" : outcome.error().ToString()) + ", reference " +
+             (baseline.ok() ? "succeeded" : baseline.error().ToString());
+    }
+    if (outcome.ok()) {
+      if (outcome->threw != baseline->threw ||
+          outcome->exception_class != baseline->exception_class ||
+          outcome->exception_message != baseline->exception_message ||
+          outcome->value.kind != baseline->value.kind ||
+          (outcome->value.kind != Value::Kind::kRef &&
+           outcome->value.num != baseline->value.num)) {
+        return "engine divergence on " + cls.name() + "." + method.Id() +
+               ": quickened and reference outcomes differ";
+      }
+    } else if (outcome.error().ToString() != baseline.error().ToString()) {
+      return "engine divergence on " + cls.name() + "." + method.Id() +
+             ": quickened error '" + outcome.error().ToString() + "' vs reference '" +
+             baseline.error().ToString() + "'";
+    }
+  }
+  if (quick.printed() != reference.printed()) {
+    return "engine divergence on " + cls.name() + ": guest output differs";
+  }
+  if (quick.virtual_nanos() != reference.virtual_nanos()) {
+    return "engine divergence on " + cls.name() + ": virtual clocks differ (" +
+           std::to_string(quick.virtual_nanos()) + " vs " +
+           std::to_string(reference.virtual_nanos()) + ")";
+  }
+  const RuntimeCounters& qc = quick.counters();
+  const RuntimeCounters& rc = reference.counters();
+  if (qc.instructions != rc.instructions || qc.allocations != rc.allocations ||
+      qc.exceptions_thrown != rc.exceptions_thrown || qc.gc_runs != rc.gc_runs ||
+      qc.classes_loaded != rc.classes_loaded) {
+    return "engine divergence on " + cls.name() + ": runtime counters differ";
   }
   return "";
 }

@@ -18,6 +18,14 @@ Result<std::vector<Instr>> DecodeCode(const Bytes& code) {
   while (pos < code.size()) {
     uint32_t offset = static_cast<uint32_t>(pos);
     Op op = static_cast<Op>(code[pos]);
+    if (IsQuickOp(op)) {
+      // Quick forms are installed by the interpreter's quickening pass into
+      // decoded code only; a class file carrying them on the wire is hostile
+      // or corrupt (verification phase 2 relies on this rejection).
+      return Error{ErrorCode::kVerifyError,
+                   "quick opcode 0x" + std::to_string(code[pos]) + " at offset " +
+                       std::to_string(pos) + " is runtime-internal"};
+    }
     const OpInfo* info = GetOpInfo(op);
     if (info == nullptr) {
       return Error{ErrorCode::kVerifyError,
@@ -97,6 +105,10 @@ Result<Bytes> EncodeCode(const std::vector<Instr>& instrs) {
   out.reserve(offsets.back());
   for (size_t i = 0; i < instrs.size(); i++) {
     const Instr& instr = instrs[i];
+    if (IsQuickOp(instr.op)) {
+      return Error{ErrorCode::kInternal,
+                   "refusing to encode runtime-internal quick opcode"};
+    }
     const OpInfo* info = GetOpInfo(instr.op);
     if (info == nullptr) {
       return Error{ErrorCode::kInternal, "encoding unknown opcode"};

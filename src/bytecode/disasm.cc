@@ -7,13 +7,18 @@
 namespace dvm {
 namespace {
 
-std::string OperandString(const ClassFile& cls, const Instr& instr) {
+std::string OperandString(const ClassFile* cls, const Instr& instr) {
   const OpInfo* info = GetOpInfo(instr.op);
   if (info == nullptr) {
     return "<bad opcode>";
   }
-  const ConstantPool& pool = cls.pool();
   std::ostringstream out;
+  // Field quick forms carry a resolved slot index, not a constant-pool index;
+  // annotate it directly instead of dereferencing the pool.
+  if (instr.op == Op::kGetfieldQuick || instr.op == Op::kPutfieldQuick) {
+    out << " #" << instr.a << " (slot)";
+    return out.str();
+  }
   switch (info->operands) {
     case OperandKind::kNone:
       break;
@@ -34,6 +39,10 @@ std::string OperandString(const ClassFile& cls, const Instr& instr) {
     case OperandKind::kCpIndex: {
       uint16_t index = static_cast<uint16_t>(instr.a);
       out << " #" << index;
+      if (cls == nullptr) {
+        break;
+      }
+      const ConstantPool& pool = cls->pool();
       if (pool.HasTag(index, CpTag::kFieldRef)) {
         out << " " << pool.FieldRefAt(index).value().ToString();
       } else if (pool.HasTag(index, CpTag::kMethodRef)) {
@@ -54,6 +63,20 @@ std::string OperandString(const ClassFile& cls, const Instr& instr) {
 }
 
 }  // namespace
+
+std::string DisassembleInstr(const ClassFile* cls, const Instr& instr) {
+  const OpInfo* info = GetOpInfo(instr.op);
+  std::string name = info != nullptr ? std::string(info->name) : "<bad>";
+  return name + OperandString(cls, instr);
+}
+
+std::string DisassembleCode(const ClassFile* cls, const std::vector<Instr>& code) {
+  std::ostringstream out;
+  for (size_t i = 0; i < code.size(); i++) {
+    out << "    " << i << ": " << DisassembleInstr(cls, code[i]) << "\n";
+  }
+  return out.str();
+}
 
 std::string DisassembleMethod(const ClassFile& cls, const MethodInfo& method) {
   std::ostringstream out;
@@ -81,7 +104,7 @@ std::string DisassembleMethod(const ClassFile& cls, const MethodInfo& method) {
   for (size_t i = 0; i < instrs.size(); i++) {
     const OpInfo* info = GetOpInfo(instrs[i].op);
     out << "    " << i << ": " << (info != nullptr ? info->name : "<bad>")
-        << OperandString(cls, instrs[i]) << "\n";
+        << OperandString(&cls, instrs[i]) << "\n";
   }
   for (const auto& h : code.handlers) {
     out << "    handler [" << h.start_pc << "," << h.end_pc << ") -> " << h.handler_pc;

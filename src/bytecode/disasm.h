@@ -4,13 +4,22 @@
 #define SRC_BYTECODE_DISASM_H_
 
 #include <string>
+#include <vector>
 
 #include "src/bytecode/classfile.h"
+#include "src/bytecode/code.h"
 
 namespace dvm {
 
 // One line per instruction: "  12: invokestatic dvm/rt/RTVerifier.CheckField:(...)V".
 std::string DisassembleMethod(const ClassFile& cls, const MethodInfo& method);
+// One already-decoded instruction, without the index prefix. Understands the
+// runtime-internal quick forms ("getfield_quick #3" annotates the resolved
+// field slot); `cls` may be null, in which case constant-pool operands are
+// printed as bare indices.
+std::string DisassembleInstr(const ClassFile* cls, const Instr& instr);
+// A decoded (possibly quickened) instruction stream, one line per instruction.
+std::string DisassembleCode(const ClassFile* cls, const std::vector<Instr>& code);
 // Full class listing: header, fields, then every method body.
 std::string DisassembleClass(const ClassFile& cls);
 

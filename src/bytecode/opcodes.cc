@@ -94,6 +94,24 @@ const Entry kTable[] = {
     {Op::kMonitorexit, {"monitorexit", OperandKind::kNone, -1, false}},
     {Op::kIfnull, {"ifnull", OperandKind::kBranch16, -1, false}},
     {Op::kIfnonnull, {"ifnonnull", OperandKind::kBranch16, -1, false}},
+    // Quick forms mirror their base form's operand shape so decoded-stream
+    // tooling (disassembly of prepared code) stays uniform. DecodeCode rejects
+    // them before consulting this table, so they remain wire-invalid.
+    {Op::kLdcQuick, {"ldc_quick", OperandKind::kCpIndex, 1, false}},
+    {Op::kGetfieldQuick, {"getfield_quick", OperandKind::kCpIndex, kVariableStack, true}},
+    {Op::kPutfieldQuick, {"putfield_quick", OperandKind::kCpIndex, kVariableStack, true}},
+    {Op::kGetstaticQuick, {"getstatic_quick", OperandKind::kCpIndex, kVariableStack, true}},
+    {Op::kPutstaticQuick, {"putstatic_quick", OperandKind::kCpIndex, kVariableStack, true}},
+    {Op::kInvokevirtualQuick,
+     {"invokevirtual_quick", OperandKind::kCpIndex, kVariableStack, true}},
+    {Op::kInvokespecialQuick,
+     {"invokespecial_quick", OperandKind::kCpIndex, kVariableStack, true}},
+    {Op::kInvokestaticQuick,
+     {"invokestatic_quick", OperandKind::kCpIndex, kVariableStack, true}},
+    {Op::kNewQuick, {"new_quick", OperandKind::kCpIndex, 1, false}},
+    {Op::kAnewarrayQuick, {"anewarray_quick", OperandKind::kCpIndex, 0, false}},
+    {Op::kCheckcastQuick, {"checkcast_quick", OperandKind::kCpIndex, 0, false}},
+    {Op::kInstanceofQuick, {"instanceof_quick", OperandKind::kCpIndex, 0, false}},
 };
 
 const std::unordered_map<uint8_t, const OpInfo*>& Table() {
@@ -155,6 +173,12 @@ bool IsInvoke(Op op) {
 bool IsFieldAccess(Op op) {
   return op == Op::kGetfield || op == Op::kPutfield || op == Op::kGetstatic ||
          op == Op::kPutstatic;
+}
+
+bool IsQuickOp(Op op) {
+  uint8_t raw = static_cast<uint8_t>(op);
+  return raw >= static_cast<uint8_t>(Op::kLdcQuick) &&
+         raw <= static_cast<uint8_t>(Op::kInstanceofQuick);
 }
 
 }  // namespace dvm

@@ -104,6 +104,26 @@ enum class Op : uint8_t {
   kMonitorexit = 0xc3,
   kIfnull = 0xc6,
   kIfnonnull = 0xc7,
+
+  // --- quick forms (runtime-internal) ------------------------------------------
+  // Installed by the interpreter's lazy quickening pass into *decoded* method
+  // bodies after the first execution resolves a site; the resolved payload
+  // lives in the instruction's InlineCache slot (or, for field quicks, in the
+  // rewritten slot operand). They are never valid on the wire: DecodeCode and
+  // verification phase 2 reject class files that contain these byte values,
+  // and EncodeCode refuses to emit them.
+  kLdcQuick = 0xd3,             // a = cp index; value pre-materialized in IC
+  kGetfieldQuick = 0xd4,        // a = resolved instance-field slot
+  kPutfieldQuick = 0xd5,        // a = resolved instance-field slot
+  kGetstaticQuick = 0xd6,       // owner+slot in IC (presence implies initialized)
+  kPutstaticQuick = 0xd7,
+  kInvokevirtualQuick = 0xd8,   // monomorphic {receiver_sym, owner, method} in IC
+  kInvokespecialQuick = 0xd9,   // direct {owner, method} in IC
+  kInvokestaticQuick = 0xda,    // direct {owner, method} in IC, owner initialized
+  kNewQuick = 0xdb,             // resolved initialized RuntimeClass in IC
+  kAnewarrayQuick = 0xdc,       // precomposed array descriptor in IC
+  kCheckcastQuick = 0xdd,       // resolved target class name in IC
+  kInstanceofQuick = 0xde,      // resolved target class name in IC
 };
 
 // Primitive element kinds for kNewarray.
@@ -149,6 +169,10 @@ bool IsReturn(Op op);
 bool IsTerminator(Op op);
 bool IsInvoke(Op op);
 bool IsFieldAccess(Op op);
+// True for the runtime-internal quick forms (0xd3..0xde). Quick opcodes must
+// never appear in on-the-wire class files.
+bool IsQuickOp(Op op);
+inline bool IsQuickOp(uint8_t raw) { return IsQuickOp(static_cast<Op>(raw)); }
 
 }  // namespace dvm
 

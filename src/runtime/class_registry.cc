@@ -2,6 +2,7 @@
 
 #include "src/bytecode/descriptor.h"
 #include "src/bytecode/serializer.h"
+#include "src/support/interner.h"
 
 namespace dvm {
 
@@ -28,12 +29,15 @@ const RuntimeClass* RuntimeClass::FindFieldOwner(const std::string& field_name) 
 
 const RuntimeClass* RuntimeClass::FindMethodOwner(const std::string& method_name,
                                                   const std::string& descriptor) const {
-  for (const RuntimeClass* c = this; c != nullptr; c = c->super) {
-    if (c->file.FindMethod(method_name, descriptor) != nullptr) {
-      return c;
-    }
-  }
-  return nullptr;
+  const MethodEntry* entry =
+      FindMethodEntry(InternSymbol(method_name), InternSymbol(descriptor));
+  return entry == nullptr ? nullptr : entry->owner;
+}
+
+const RuntimeClass::MethodEntry* RuntimeClass::FindMethodEntry(uint32_t method_sym,
+                                                               uint32_t desc_sym) const {
+  auto it = method_table.find(SymbolPairKey(method_sym, desc_sym));
+  return it == method_table.end() ? nullptr : &it->second;
 }
 
 RuntimeClass* ClassRegistry::FindLoaded(const std::string& class_name) {
@@ -76,6 +80,7 @@ Result<RuntimeClass*> ClassRegistry::GetClass(const std::string& class_name) {
 
   auto rc = std::make_unique<RuntimeClass>();
   rc->name = class_name;
+  rc->name_sym = InternSymbol(class_name);
   rc->file = std::move(parsed).value();
 
   // Link the superclass chain first.
@@ -88,19 +93,38 @@ Result<RuntimeClass*> ClassRegistry::GetClass(const std::string& class_name) {
     rc->super = super.value();
   }
 
-  // Field layout: inherited slots first, own fields appended.
+  // Field layout: inherited slots first, own fields appended. Descriptors are
+  // parsed into FieldKind once here; allocation paths use the typed template
+  // instead of re-inspecting descriptor strings per object.
   rc->field_layout_start = rc->super != nullptr ? rc->super->total_instance_fields : 0;
+  if (rc->super != nullptr) {
+    rc->field_kinds = rc->super->field_kinds;
+    rc->field_template = rc->super->field_template;
+  }
   uint32_t next_instance = rc->field_layout_start;
   for (const auto& f : rc->file.fields) {
+    FieldKind kind = FieldKindFor(f.descriptor);
     if (f.IsStatic()) {
       rc->static_slots[f.name] = static_cast<uint32_t>(rc->statics.size());
-      rc->statics.push_back(DefaultValueFor(f.descriptor));
+      rc->statics.push_back(DefaultValueForKind(kind));
     } else {
       rc->own_field_slots[f.name] = next_instance++;
       rc->own_field_descs.push_back(f.descriptor);
+      rc->field_kinds.push_back(kind);
+      rc->field_template.push_back(DefaultValueForKind(kind));
     }
   }
   rc->total_instance_fields = next_instance;
+
+  // Flattened method table: superclass entries first, own methods overlaid
+  // (an override replaces the inherited entry under the same key).
+  if (rc->super != nullptr) {
+    rc->method_table = rc->super->method_table;
+  }
+  for (const MethodInfo& m : rc->file.methods) {
+    uint64_t key = SymbolPairKey(InternSymbol(m.name), InternSymbol(m.descriptor));
+    rc->method_table[key] = RuntimeClass::MethodEntry{rc.get(), &m};
+  }
 
   RuntimeClass* out = rc.get();
   if (on_load) {
@@ -116,6 +140,25 @@ Result<RuntimeClass*> ClassRegistry::GetClass(const std::string& class_name) {
 }
 
 Result<bool> ClassRegistry::IsSubclass(const std::string& sub, const std::string& super) {
+  return IsSubclassSym(InternSymbol(sub), InternSymbol(super));
+}
+
+Result<bool> ClassRegistry::IsSubclassSym(uint32_t sub_sym, uint32_t super_sym) {
+  uint64_t key = SymbolPairKey(sub_sym, super_sym);
+  auto memo = subclass_memo_.find(key);
+  if (memo != subclass_memo_.end()) {
+    return memo->second;
+  }
+  bool clean = true;
+  auto result = IsSubclassUncached(SymbolName(sub_sym), SymbolName(super_sym), &clean);
+  if (result.ok() && clean) {
+    subclass_memo_[key] = result.value();
+  }
+  return result;
+}
+
+Result<bool> ClassRegistry::IsSubclassUncached(const std::string& sub,
+                                               const std::string& super, bool* clean) {
   if (sub == super || super == "java/lang/Object") {
     return true;
   }
@@ -129,26 +172,35 @@ Result<bool> ClassRegistry::IsSubclass(const std::string& sub, const std::string
       return true;
     }
     if (se.size() > 1 && se[0] == 'L' && de.size() > 1 && de[0] == 'L') {
-      return IsSubclass(ClassNameFromDescriptor(se), ClassNameFromDescriptor(de));
+      return IsSubclassUncached(ClassNameFromDescriptor(se), ClassNameFromDescriptor(de),
+                                clean);
     }
     return false;
   }
   // Force-load the chain; instanceof on an unloadable class is a link error.
-  DVM_ASSIGN_OR_RETURN(RuntimeClass * cls, GetClass(sub));
-  for (const RuntimeClass* c = cls; c != nullptr; c = c->super) {
+  auto loaded = GetClass(sub);
+  if (!loaded.ok()) {
+    *clean = false;
+    return loaded.error();
+  }
+  for (const RuntimeClass* c = loaded.value(); c != nullptr; c = c->super) {
     if (c->name == super) {
       return true;
     }
     for (uint16_t idx : c->file.interfaces) {
       auto name = c->file.pool().ClassNameAt(idx);
-      if (name.ok()) {
-        if (name.value() == super) {
-          return true;
-        }
-        auto via = IsSubclass(name.value(), super);
-        if (via.ok() && via.value()) {
-          return true;
-        }
+      if (!name.ok()) {
+        *clean = false;
+        continue;
+      }
+      if (name.value() == super) {
+        return true;
+      }
+      auto via = IsSubclassUncached(name.value(), super, clean);
+      if (!via.ok()) {
+        *clean = false;
+      } else if (via.value()) {
+        return true;
       }
     }
   }

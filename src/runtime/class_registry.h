@@ -59,8 +59,16 @@ struct InlineCache {
   RuntimeClass* invoke_owner = nullptr;
   const MethodInfo* invoke_method = nullptr;
   std::string receiver_class;  // invokevirtual: cached dynamic receiver type
+  uint32_t receiver_sym = 0;   // interned form of receiver_class (quick engine)
   int arg_count = -1;          // incl. receiver for instance methods; -1 = unresolved
   bool has_result = false;
+  // Quick-form payloads, installed when the interpreter rewrites the site:
+  Value const_value = Value::Null();  // ldc_quick: pre-materialized constant
+  RuntimeClass* klass = nullptr;      // new_quick: resolved, initialized class
+  std::string array_desc;             // anewarray_quick: precomposed descriptor
+  uint32_t array_desc_sym = 0;
+  std::string cast_target;            // checkcast/instanceof_quick: target class
+  uint32_t cast_target_sym = 0;
 };
 
 // Interpreter-ready method body: decoded instructions and handler table
@@ -86,6 +94,8 @@ enum class InitState : uint8_t { kUninitialized, kInitializing, kInitialized };
 
 struct RuntimeClass {
   std::string name;
+  uint32_t name_sym = 0;  // interned `name`; doubles as the class id for
+                          // monomorphic inline-cache compares
   ClassFile file;
   RuntimeClass* super = nullptr;
 
@@ -95,6 +105,11 @@ struct RuntimeClass {
   uint32_t total_instance_fields = 0;
   std::unordered_map<std::string, uint32_t> own_field_slots;
   std::vector<std::string> own_field_descs;  // parallel to declaration order
+  // Pre-parsed types and typed default values for every instance slot
+  // (inherited + own), built at link time so allocation never touches
+  // descriptor strings.
+  std::vector<FieldKind> field_kinds;
+  std::vector<Value> field_template;
 
   // Statics, declared by this class only.
   std::unordered_map<std::string, uint32_t> static_slots;
@@ -109,11 +124,23 @@ struct RuntimeClass {
   // service and the stack-introspection baseline). Empty = unprivileged.
   std::string security_domain;
 
+  // Flattened virtual-method table keyed by packed (name_sym, descriptor_sym):
+  // the superclass table copied at link time with own declarations overlaid,
+  // so a lookup is one hash probe with integer keys instead of a superclass
+  // walk doing string compares per class. Sound because loaded classes are
+  // immutable.
+  struct MethodEntry {
+    RuntimeClass* owner = nullptr;
+    const MethodInfo* method = nullptr;
+  };
+  std::unordered_map<uint64_t, MethodEntry> method_table;
+
   // Walks this chain for a field declared with `name`; nullptr if absent.
   const RuntimeClass* FindFieldOwner(const std::string& field_name) const;
-  // Walks this chain for a method; nullptr if absent.
+  // Resolves a method against the flattened table; nullptr if absent.
   const RuntimeClass* FindMethodOwner(const std::string& method_name,
                                       const std::string& descriptor) const;
+  const MethodEntry* FindMethodEntry(uint32_t method_sym, uint32_t desc_sym) const;
 };
 
 class ClassRegistry : public ClassEnv {
@@ -139,15 +166,27 @@ class ClassRegistry : public ClassEnv {
   // Environment queries that force loading (used by instanceof/checkcast and
   // the dynamic link checker, which may fault in classes).
   Result<bool> IsSubclass(const std::string& sub, const std::string& super);
+  // Memoized front door keyed by interned symbols (the quickened checkcast /
+  // instanceof path). Results computed without any load failure are cached;
+  // the class hierarchy of a registry is append-only, so a clean answer can
+  // never change.
+  Result<bool> IsSubclassSym(uint32_t sub_sym, uint32_t super_sym);
 
   uint64_t loaded_count() const { return loaded_order_.size(); }
   const std::vector<std::string>& loaded_order() const { return loaded_order_; }
 
  private:
+  // `clean` is cleared when any lookup along the walk failed (e.g. an
+  // unloadable interface), in which case the answer may legitimately change
+  // if the provider later gains the class — such results are not memoized.
+  Result<bool> IsSubclassUncached(const std::string& sub, const std::string& super,
+                                  bool* clean);
+
   ClassProvider* provider_;
   std::map<std::string, std::unique_ptr<RuntimeClass>> classes_;
   std::set<std::string> loading_;  // cycle detection
   std::vector<std::string> loaded_order_;
+  std::unordered_map<uint64_t, bool> subclass_memo_;
 };
 
 }  // namespace dvm

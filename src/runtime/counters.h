@@ -23,6 +23,9 @@ struct RuntimeCounters {
   uint64_t gc_runs = 0;
   uint64_t classes_loaded = 0;
   uint64_t exceptions_thrown = 0;
+  // Interpreter quickening: instruction sites rewritten to their quick form.
+  // Engine-internal; excluded from cross-engine differential comparisons.
+  uint64_t quickened_sites = 0;
   // Service-specific dynamic work, attributed by the service natives.
   uint64_t dynamic_verify_checks = 0;
   uint64_t security_checks = 0;

@@ -2,7 +2,27 @@
 
 #include <deque>
 
+#include "src/support/interner.h"
+
 namespace dvm {
+namespace {
+
+uint32_t IntArraySym() {
+  static const uint32_t sym = InternSymbol("[I");
+  return sym;
+}
+
+uint32_t LongArraySym() {
+  static const uint32_t sym = InternSymbol("[J");
+  return sym;
+}
+
+uint32_t StringSym() {
+  static const uint32_t sym = InternSymbol("java/lang/String");
+  return sym;
+}
+
+}  // namespace
 
 size_t HeapObject::SizeBytes() const {
   size_t base = 32;
@@ -65,7 +85,18 @@ Result<ObjRef> Heap::AllocInstance(const std::string& class_name, size_t field_c
   HeapObject obj;
   obj.kind = HeapObject::Kind::kInstance;
   obj.class_name = class_name;
+  obj.class_sym = InternSymbol(class_name);
   obj.fields.assign(field_count, Value::Null());
+  return Place(std::move(obj));
+}
+
+Result<ObjRef> Heap::AllocInstance(const std::string& class_name, uint32_t class_sym,
+                                   const std::vector<Value>& field_template) {
+  HeapObject obj;
+  obj.kind = HeapObject::Kind::kInstance;
+  obj.class_name = class_name;
+  obj.class_sym = class_sym;
+  obj.fields = field_template;
   return Place(std::move(obj));
 }
 
@@ -81,6 +112,7 @@ Result<ObjRef> Heap::AllocIntArray(int32_t length) {
   HeapObject obj;
   obj.kind = HeapObject::Kind::kIntArray;
   obj.class_name = "[I";
+  obj.class_sym = IntArraySym();
   obj.ints.assign(static_cast<size_t>(length), 0);
   return Place(std::move(obj));
 }
@@ -93,11 +125,13 @@ Result<ObjRef> Heap::AllocLongArray(int32_t length) {
   HeapObject obj;
   obj.kind = HeapObject::Kind::kLongArray;
   obj.class_name = "[J";
+  obj.class_sym = LongArraySym();
   obj.longs.assign(static_cast<size_t>(length), 0);
   return Place(std::move(obj));
 }
 
-Result<ObjRef> Heap::AllocRefArray(const std::string& descriptor, int32_t length) {
+Result<ObjRef> Heap::AllocRefArray(const std::string& descriptor, int32_t length,
+                                   uint32_t descriptor_sym) {
   if (length < 0) {
     return Error{ErrorCode::kRuntimeError, "negative array size"};
   }
@@ -105,6 +139,7 @@ Result<ObjRef> Heap::AllocRefArray(const std::string& descriptor, int32_t length
   HeapObject obj;
   obj.kind = HeapObject::Kind::kRefArray;
   obj.class_name = descriptor;
+  obj.class_sym = descriptor_sym != kNoSymbol ? descriptor_sym : InternSymbol(descriptor);
   obj.refs.assign(static_cast<size_t>(length), kNullRef);
   return Place(std::move(obj));
 }
@@ -113,6 +148,7 @@ Result<ObjRef> Heap::AllocString(const std::string& value) {
   HeapObject obj;
   obj.kind = HeapObject::Kind::kString;
   obj.class_name = "java/lang/String";
+  obj.class_sym = StringSym();
   obj.str = value;
   return Place(std::move(obj));
 }

@@ -21,6 +21,9 @@ struct HeapObject {
   // Class name for instances; array descriptor ("[I", "[Lfoo/Bar;") for arrays;
   // "java/lang/String" for strings.
   std::string class_name;
+  // Interned class_name — the monomorphic inline caches compare this id
+  // instead of the string bytes.
+  uint32_t class_sym = 0;
   std::vector<Value> fields;     // kInstance: slot-indexed instance fields
   std::vector<int32_t> ints;     // kIntArray
   std::vector<int64_t> longs;    // kLongArray
@@ -44,9 +47,16 @@ class Heap {
   explicit Heap(size_t capacity_bytes = 64 * 1024 * 1024) : capacity_bytes_(capacity_bytes) {}
 
   Result<ObjRef> AllocInstance(const std::string& class_name, size_t field_count);
+  // Fast path: fields copied from a typed default template built at class link
+  // time (no per-allocation descriptor parsing), class symbol precomputed.
+  Result<ObjRef> AllocInstance(const std::string& class_name, uint32_t class_sym,
+                               const std::vector<Value>& field_template);
   Result<ObjRef> AllocIntArray(int32_t length);
   Result<ObjRef> AllocLongArray(int32_t length);
-  Result<ObjRef> AllocRefArray(const std::string& descriptor, int32_t length);
+  // `descriptor_sym` may be kNoSymbol, in which case the descriptor is
+  // interned here (the quickened anewarray path passes its cached symbol).
+  Result<ObjRef> AllocRefArray(const std::string& descriptor, int32_t length,
+                               uint32_t descriptor_sym = 0);
   Result<ObjRef> AllocString(const std::string& value);
 
   // Returns nullptr for the null handle or a freed slot.

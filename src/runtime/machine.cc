@@ -136,23 +136,54 @@ Result<ObjRef> Machine::AllocInstance(RuntimeClass* cls) {
   }
   counters_.allocations++;
   AddNanos(config_.cost.nanos_per_alloc);
-  return heap_.AllocInstance(cls->name, fields);
+  return heap_.AllocInstance(cls->name, cls->name_sym, cls->field_template);
 }
 
-Result<ObjRef> Machine::AllocArray(const std::string& descriptor, int32_t length) {
-  size_t bytes = static_cast<size_t>(length < 0 ? 0 : length) * 8 + 32;
-  if (heap_.NeedsGc(bytes)) {
+namespace {
+// GC-trigger sizing shared by every array path. Kept identical across the
+// typed helpers so the collection schedule does not depend on which engine or
+// opcode form performed the allocation.
+inline size_t ArrayTriggerBytes(int32_t length) {
+  return static_cast<size_t>(length < 0 ? 0 : length) * 8 + 32;
+}
+}  // namespace
+
+Result<ObjRef> Machine::AllocIntArray(int32_t length) {
+  if (heap_.NeedsGc(ArrayTriggerBytes(length))) {
     CollectGarbage();
   }
   counters_.allocations++;
   AddNanos(config_.cost.nanos_per_alloc);
+  return heap_.AllocIntArray(length);
+}
+
+Result<ObjRef> Machine::AllocLongArray(int32_t length) {
+  if (heap_.NeedsGc(ArrayTriggerBytes(length))) {
+    CollectGarbage();
+  }
+  counters_.allocations++;
+  AddNanos(config_.cost.nanos_per_alloc);
+  return heap_.AllocLongArray(length);
+}
+
+Result<ObjRef> Machine::AllocRefArray(const std::string& descriptor,
+                                      uint32_t descriptor_sym, int32_t length) {
+  if (heap_.NeedsGc(ArrayTriggerBytes(length))) {
+    CollectGarbage();
+  }
+  counters_.allocations++;
+  AddNanos(config_.cost.nanos_per_alloc);
+  return heap_.AllocRefArray(descriptor, length, descriptor_sym);
+}
+
+Result<ObjRef> Machine::AllocArray(const std::string& descriptor, int32_t length) {
   if (descriptor == "[I") {
-    return heap_.AllocIntArray(length);
+    return AllocIntArray(length);
   }
   if (descriptor == "[J") {
-    return heap_.AllocLongArray(length);
+    return AllocLongArray(length);
   }
-  return heap_.AllocRefArray(descriptor, length);
+  return AllocRefArray(descriptor, 0, length);
 }
 
 void Machine::CollectGarbage() {

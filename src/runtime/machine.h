@@ -78,6 +78,12 @@ struct MachineConfig {
   // JDK 1.2-style stack-introspection access control (Fig. 9 baseline). The
   // DVM security service is independent of this flag; it arrives via rewriting.
   bool stack_introspection_security = false;
+  // Quickened, threaded execution engine (default). When false the machine
+  // runs the reference switch-per-Step engine with no opcode rewriting — the
+  // `--no-quicken` baseline used by bench_interp and the differential tests.
+  // Observable behaviour (outcomes, guest output, counters, virtual clock) is
+  // identical between the two engines.
+  bool quicken = true;
   size_t heap_capacity_bytes = 64 * 1024 * 1024;
   size_t max_frames = 2048;
   uint64_t max_instructions = 2'000'000'000;  // runaway-loop backstop
@@ -141,6 +147,13 @@ class Machine {
   // Allocation helpers that trigger GC against the current roots when needed.
   Result<ObjRef> AllocInstance(RuntimeClass* cls);
   Result<ObjRef> AllocArray(const std::string& descriptor, int32_t length);
+  // String-free primitive-array paths (newarray executes no constant-pool
+  // resolution, so it should not build a descriptor string per allocation).
+  Result<ObjRef> AllocIntArray(int32_t length);
+  Result<ObjRef> AllocLongArray(int32_t length);
+  // Ref-array path with a precomposed descriptor symbol (anewarray_quick).
+  Result<ObjRef> AllocRefArray(const std::string& descriptor, uint32_t descriptor_sym,
+                               int32_t length);
 
   // --- guest exceptions ---------------------------------------------------------
   // Signals a pending guest exception from native code or the interpreter.

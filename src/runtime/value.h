@@ -42,15 +42,36 @@ struct Value {
   }
 };
 
-// Zero value for a field/array-element of the given descriptor.
-inline Value DefaultValueFor(const std::string& descriptor) {
+// Compact pre-parsed field type, computed once at class-prepare time so field
+// initialization and array allocation never re-inspect descriptor strings on
+// the hot path.
+enum class FieldKind : uint8_t { kRef, kInt, kLong };
+
+inline FieldKind FieldKindFor(const std::string& descriptor) {
   if (descriptor == "I") {
-    return Value::Int(0);
+    return FieldKind::kInt;
   }
   if (descriptor == "J") {
-    return Value::Long(0);
+    return FieldKind::kLong;
+  }
+  return FieldKind::kRef;
+}
+
+inline Value DefaultValueForKind(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kInt:
+      return Value::Int(0);
+    case FieldKind::kLong:
+      return Value::Long(0);
+    case FieldKind::kRef:
+      break;
   }
   return Value::Null();
+}
+
+// Zero value for a field/array-element of the given descriptor.
+inline Value DefaultValueFor(const std::string& descriptor) {
+  return DefaultValueForKind(FieldKindFor(descriptor));
 }
 
 }  // namespace dvm

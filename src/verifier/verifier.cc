@@ -939,6 +939,21 @@ Status MethodVerifier::Transfer(size_t index, Frame frame) {
       DVM_RETURN_IF_ERROR(PopRefLike(frame, index, &t));
       break;
     }
+    // Quick forms are runtime-internal rewrites; a class file carrying one is
+    // hostile or corrupt and must never reach the execution engine.
+    case Op::kLdcQuick:
+    case Op::kGetfieldQuick:
+    case Op::kPutfieldQuick:
+    case Op::kGetstaticQuick:
+    case Op::kPutstaticQuick:
+    case Op::kInvokevirtualQuick:
+    case Op::kInvokespecialQuick:
+    case Op::kInvokestaticQuick:
+    case Op::kNewQuick:
+    case Op::kAnewarrayQuick:
+    case Op::kCheckcastQuick:
+    case Op::kInstanceofQuick:
+      return Fail(index, "quick opcode in class file");
   }
 
   if (branch_target.has_value()) {

@@ -125,9 +125,9 @@ void EmitStringKernel(MethodBuilder& m) {
 void EmitPadMethod(MethodBuilder& m, int instructions, int seed) {
   m.LoadLocal("I", 0).StoreLocal("I", 1);
   int emitted = 0;
-  int value = seed;
+  uint32_t value = static_cast<uint32_t>(seed);
   while (emitted < instructions) {
-    value = value * 1103515245 + 12345;
+    value = value * 1103515245u + 12345u;
     m.LoadLocal("I", 1).PushInt((value >> 16) & 0x7F).Emit(Op::kIadd).StoreLocal("I", 1);
     emitted += 4;
   }

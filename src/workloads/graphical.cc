@@ -17,9 +17,9 @@ ClassFile Must(Result<ClassFile> r) {
 void EmitStraightLine(MethodBuilder& m, int instructions, int seed) {
   m.LoadLocal("I", 0).StoreLocal("I", 1);
   int emitted = 0;
-  int value = seed;
+  uint32_t value = static_cast<uint32_t>(seed);
   while (emitted < instructions) {
-    value = value * 1103515245 + 12345;
+    value = value * 1103515245u + 12345u;
     m.LoadLocal("I", 1).PushInt((value >> 16) & 0x7F).Emit(Op::kIadd).StoreLocal("I", 1);
     emitted += 4;
   }
@@ -48,9 +48,9 @@ ClassFile BuildUiClass(const GraphicalAppSpec& spec, int index) {
   init.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
   init.Bind(done);
   int filler = spec.hot_instructions;
-  int value = index * 977;
+  uint32_t value = static_cast<uint32_t>(index) * 977u;
   while (filler > 0) {
-    value = value * 1103515245 + 12345;
+    value = value * 1103515245u + 12345u;
     init.LoadLocal("I", 1).PushInt((value >> 16) & 0x3F).Emit(Op::kIadd).StoreLocal("I", 1);
     filler -= 4;
   }

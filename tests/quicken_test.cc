@@ -1,0 +1,331 @@
+// Differential tests for the quickened execution engine (DESIGN.md §11).
+//
+// The quickened engine (threaded dispatch, quick opcodes, sliced call frames)
+// and the reference switch interpreter must be observably identical: same
+// CallOutcomes, same guest output, same thrown-exception sequences, same
+// runtime counters (quickened_sites excepted — it is engine-internal) and the
+// same virtual clock. These tests pin that equivalence over every synthetic
+// workload application and the fuzz regression corpus, plus targeted
+// regressions: invokevirtual null-receiver ordering at a quickened site,
+// inline-cache correctness across class redefinition through the proxy's
+// InvalidateCache, the verifier rejecting on-the-wire quick opcodes, and the
+// disassembler's quick-form annotations.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/oracles.h"
+#include "src/bytecode/builder.h"
+#include "src/bytecode/disasm.h"
+#include "src/bytecode/serializer.h"
+#include "src/proxy/proxy.h"
+#include "src/runtime/interp.h"
+#include "src/runtime/machine.h"
+#include "src/runtime/syslib.h"
+#include "src/verifier/class_env.h"
+#include "src/verifier/verifier.h"
+#include "src/workloads/applets.h"
+#include "src/workloads/apps.h"
+#include "src/workloads/graphical.h"
+
+namespace dvm {
+namespace {
+
+#ifndef DVM_CORPUS_DIR
+#define DVM_CORPUS_DIR "tests/corpus"
+#endif
+
+MachineConfig EngineConfig(bool quicken) {
+  MachineConfig config;
+  config.quicken = quicken;
+  return config;
+}
+
+// Runs `main_class.main()V` under both engines and asserts every observable
+// is identical. Returns the quickened machine's quickened-site count so
+// callers can additionally assert the quick paths actually ran.
+uint64_t RunBothEngines(const AppBundle& bundle) {
+  MapClassProvider provider_quick;
+  InstallSystemLibrary(provider_quick);
+  bundle.InstallInto(&provider_quick);
+  MapClassProvider provider_ref;
+  InstallSystemLibrary(provider_ref);
+  bundle.InstallInto(&provider_ref);
+
+  Machine quick(EngineConfig(true), &provider_quick);
+  Machine reference(EngineConfig(false), &provider_ref);
+
+  auto qo = quick.RunMain(bundle.main_class);
+  auto ro = reference.RunMain(bundle.main_class);
+  EXPECT_EQ(qo.ok(), ro.ok()) << bundle.name;
+  if (qo.ok() && ro.ok()) {
+    EXPECT_EQ(qo->threw, ro->threw) << bundle.name;
+    EXPECT_EQ(qo->exception_class, ro->exception_class) << bundle.name;
+    EXPECT_EQ(qo->exception_message, ro->exception_message) << bundle.name;
+    EXPECT_EQ(static_cast<int>(qo->value.kind), static_cast<int>(ro->value.kind))
+        << bundle.name;
+    if (qo->value.kind != Value::Kind::kRef) {
+      EXPECT_EQ(qo->value.num, ro->value.num) << bundle.name;
+    }
+  }
+  EXPECT_EQ(quick.printed(), reference.printed()) << bundle.name;
+  EXPECT_EQ(quick.virtual_nanos(), reference.virtual_nanos()) << bundle.name;
+
+  const RuntimeCounters& qc = quick.counters();
+  const RuntimeCounters& rc = reference.counters();
+  EXPECT_EQ(qc.instructions, rc.instructions) << bundle.name;
+  EXPECT_EQ(qc.method_invocations, rc.method_invocations) << bundle.name;
+  EXPECT_EQ(qc.native_calls, rc.native_calls) << bundle.name;
+  EXPECT_EQ(qc.allocations, rc.allocations) << bundle.name;
+  EXPECT_EQ(qc.allocated_bytes, rc.allocated_bytes) << bundle.name;
+  EXPECT_EQ(qc.gc_runs, rc.gc_runs) << bundle.name;
+  EXPECT_EQ(qc.classes_loaded, rc.classes_loaded) << bundle.name;
+  EXPECT_EQ(qc.exceptions_thrown, rc.exceptions_thrown) << bundle.name;
+  // The one deliberate difference: the reference engine never quickens.
+  EXPECT_EQ(rc.quickened_sites, 0u) << bundle.name;
+  return qc.quickened_sites;
+}
+
+TEST(QuickenDifferential, Fig5AppsAreEngineIdentical) {
+  for (const AppBundle& bundle : BuildFig5Apps(/*work_scale=*/1)) {
+    uint64_t quickened = RunBothEngines(bundle);
+    EXPECT_GT(quickened, 0u) << bundle.name << " never exercised a quick path";
+  }
+}
+
+TEST(QuickenDifferential, GraphicalAppsAreEngineIdentical) {
+  for (const AppBundle& bundle : BuildGraphicalApps()) {
+    RunBothEngines(bundle);
+  }
+}
+
+TEST(QuickenDifferential, AppletPopulationIsEngineIdentical) {
+  for (const AppBundle& bundle : BuildAppletPopulation(/*count=*/12, /*seed=*/7)) {
+    RunBothEngines(bundle);
+  }
+}
+
+// Every minimized fuzz crasher replays through the dual-engine differential
+// oracle: hostile inputs must exercise the quick paths without divergence.
+TEST(QuickenDifferential, FuzzCorpusIsEngineIdentical) {
+  std::filesystem::path dir(DVM_CORPUS_DIR);
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << "missing corpus dir " << dir;
+  size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    Bytes data{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+    std::string violation = fuzz::CheckDifferential(data);
+    EXPECT_TRUE(violation.empty()) << entry.path().filename() << ": " << violation;
+    count++;
+  }
+  EXPECT_GE(count, 13u);
+}
+
+class QuickenRegressionTest : public ::testing::Test {
+ protected:
+  QuickenRegressionTest() { InstallSystemLibrary(provider_); }
+
+  void AddClass(ClassBuilder& cb) {
+    auto built = cb.Build();
+    ASSERT_TRUE(built.ok()) << built.error().ToString();
+    provider_.AddClassFile(built.value());
+  }
+
+  MapClassProvider provider_;
+};
+
+// invokevirtual on a null receiver must raise NullPointerException through a
+// site that has ALREADY been quickened: the quick handler's null check runs
+// before the inline cache is consulted, so a cache installed by an earlier
+// call never masks the NPE (the old engine copied args and consulted the
+// cache before the null check).
+TEST_F(QuickenRegressionTest, NullReceiverAtQuickenedSite) {
+  ClassBuilder target("app/Target", "java/lang/Object");
+  target.AddDefaultConstructor();
+  target.AddMethod(AccessFlags::kPublic, "m", "()I").PushInt(41).Emit(Op::kIreturn);
+  AddClass(target);
+
+  ClassBuilder cb("app/Caller", "java/lang/Object");
+  // call(Target t) = t.m() — one shared invokevirtual site.
+  MethodBuilder& call = cb.AddMethod(AccessFlags::kStatic, "call", "(Lapp/Target;)I");
+  call.LoadLocal("L", 0).InvokeVirtual("app/Target", "m", "()I").Emit(Op::kIreturn);
+  // warm() primes the site's monomorphic cache with a live receiver.
+  MethodBuilder& warm = cb.AddMethod(AccessFlags::kStatic, "warm", "()I");
+  warm.New("app/Target").Emit(Op::kDup)
+      .InvokeSpecial("app/Target", "<init>", "()V")
+      .InvokeStatic("app/Caller", "call", "(Lapp/Target;)I")
+      .Emit(Op::kIreturn);
+  // trip() sends null through the now-quickened site.
+  MethodBuilder& trip = cb.AddMethod(AccessFlags::kStatic, "trip", "()I");
+  trip.PushNull().InvokeStatic("app/Caller", "call", "(Lapp/Target;)I").Emit(Op::kIreturn);
+  AddClass(cb);
+
+  for (bool quicken : {true, false}) {
+    Machine machine(EngineConfig(quicken), &provider_);
+    auto warm_outcome = machine.CallStatic("app/Caller", "warm", "()I");
+    ASSERT_TRUE(warm_outcome.ok()) << warm_outcome.error().ToString();
+    ASSERT_FALSE(warm_outcome->threw);
+    EXPECT_EQ(warm_outcome->value.AsInt(), 41);
+
+    auto trip_outcome = machine.CallStatic("app/Caller", "trip", "()I");
+    ASSERT_TRUE(trip_outcome.ok()) << trip_outcome.error().ToString();
+    EXPECT_TRUE(trip_outcome->threw) << "quicken=" << quicken;
+    EXPECT_EQ(trip_outcome->exception_class, "java/lang/NullPointerException");
+    EXPECT_EQ(trip_outcome->exception_message, "invoke on null receiver");
+  }
+}
+
+// A polymorphic site must re-resolve on an inline-cache miss: after warming
+// the cache with one receiver class, dispatching a subclass through the same
+// quickened site must call the override, not the cached target.
+TEST_F(QuickenRegressionTest, CacheMissRedispatchesOnReceiverChange) {
+  ClassBuilder base("app/Base", "java/lang/Object");
+  base.AddDefaultConstructor();
+  base.AddMethod(AccessFlags::kPublic, "m", "()I").PushInt(1).Emit(Op::kIreturn);
+  AddClass(base);
+  ClassBuilder sub("app/Sub", "app/Base");
+  sub.AddDefaultConstructor();
+  sub.AddMethod(AccessFlags::kPublic, "m", "()I").PushInt(2).Emit(Op::kIreturn);
+  AddClass(sub);
+
+  ClassBuilder cb("app/Poly", "java/lang/Object");
+  MethodBuilder& call = cb.AddMethod(AccessFlags::kStatic, "call", "(Lapp/Base;)I");
+  call.LoadLocal("L", 0).InvokeVirtual("app/Base", "m", "()I").Emit(Op::kIreturn);
+  MethodBuilder& go = cb.AddMethod(AccessFlags::kStatic, "go", "()I");
+  // call(new Base()) * 10 + call(new Sub()) == 12 iff dispatch is correct.
+  go.New("app/Base").Emit(Op::kDup).InvokeSpecial("app/Base", "<init>", "()V")
+      .InvokeStatic("app/Poly", "call", "(Lapp/Base;)I")
+      .PushInt(10).Emit(Op::kImul)
+      .New("app/Sub").Emit(Op::kDup).InvokeSpecial("app/Sub", "<init>", "()V")
+      .InvokeStatic("app/Poly", "call", "(Lapp/Base;)I")
+      .Emit(Op::kIadd).Emit(Op::kIreturn);
+  AddClass(cb);
+
+  for (bool quicken : {true, false}) {
+    Machine machine(EngineConfig(quicken), &provider_);
+    auto outcome = machine.CallStatic("app/Poly", "go", "()I");
+    ASSERT_TRUE(outcome.ok()) << outcome.error().ToString();
+    ASSERT_FALSE(outcome->threw);
+    EXPECT_EQ(outcome->value.AsInt(), 12) << "quicken=" << quicken;
+  }
+}
+
+// Inline-cache correctness across class redefinition: a client that loads a
+// class through the proxy, then a second client after the origin redefined it
+// and the proxy's InvalidateCache dropped the stale rewrite, must each see
+// their own version — per-machine quickening state (and the process-global
+// symbol interner) must not leak resolution results between the two.
+TEST(QuickenProxyTest, InlineCachesSurviveClassRedefinition) {
+  auto build_version = [](int result) {
+    ClassBuilder target("app/Svc", "java/lang/Object");
+    target.AddDefaultConstructor();
+    target.AddMethod(AccessFlags::kPublic, "answer", "()I").PushInt(result).Emit(Op::kIreturn);
+    auto built = target.Build();
+    EXPECT_TRUE(built.ok());
+    return WriteClassFile(built.value()).value();
+  };
+  ClassBuilder cb("app/Main", "java/lang/Object");
+  MethodBuilder& go = cb.AddMethod(AccessFlags::kStatic, "go", "()I");
+  go.New("app/Svc").Emit(Op::kDup).InvokeSpecial("app/Svc", "<init>", "()V")
+      .InvokeVirtual("app/Svc", "answer", "()I").Emit(Op::kIreturn);
+  Bytes main_bytes = WriteClassFile(cb.Build().value()).value();
+
+  // Origin server whose app/Svc can be redefined between requests.
+  MapClassProvider origin;
+  origin.Add("app/Main", main_bytes);
+  origin.Add("app/Svc", build_version(7));
+
+  std::vector<ClassFile> syslib = BuildSystemLibrary();
+  MapClassEnv library_env;
+  for (const ClassFile& cls : syslib) {
+    library_env.Add(&cls);
+  }
+  DvmProxy proxy({}, &library_env, &origin);
+
+  // A provider view that pulls every class through the proxy.
+  struct ProxyProvider : ClassProvider {
+    DvmProxy* proxy;
+    MapClassProvider* syslib_provider;
+    Result<Bytes> FetchClass(const std::string& class_name) override {
+      if (syslib_provider->Has(class_name)) {
+        return syslib_provider->FetchClass(class_name);
+      }
+      DVM_ASSIGN_OR_RETURN(ProxyResponse response, proxy->HandleRequest(class_name));
+      return response.data;
+    }
+  };
+  MapClassProvider syslib_provider;
+  InstallSystemLibrary(syslib_provider);
+  ProxyProvider through_proxy;
+  through_proxy.proxy = &proxy;
+  through_proxy.syslib_provider = &syslib_provider;
+
+  MachineConfig config;
+  config.quicken = true;
+  Machine first(config, &through_proxy);
+  auto v1 = first.CallStatic("app/Main", "go", "()I");
+  ASSERT_TRUE(v1.ok()) << v1.error().ToString();
+  EXPECT_EQ(v1->value.AsInt(), 7);
+
+  // Redefine the class at the origin and drop the proxy's cached rewrite.
+  origin.Add("app/Svc", build_version(13));
+  proxy.InvalidateCache();
+
+  Machine second(config, &through_proxy);
+  auto v2 = second.CallStatic("app/Main", "go", "()I");
+  ASSERT_TRUE(v2.ok()) << v2.error().ToString();
+  EXPECT_EQ(v2->value.AsInt(), 13);
+
+  // The first client's quickened state still dispatches to ITS version.
+  auto v1_again = first.CallStatic("app/Main", "go", "()I");
+  ASSERT_TRUE(v1_again.ok()) << v1_again.error().ToString();
+  EXPECT_EQ(v1_again->value.AsInt(), 7);
+  EXPECT_GT(first.counters().quickened_sites, 0u);
+  EXPECT_GT(second.counters().quickened_sites, 0u);
+}
+
+// Quick forms are runtime-internal: a class file carrying one on the wire
+// must be rejected by verification, never reach an engine.
+TEST(QuickenVerifierTest, WireQuickOpcodeIsRejected) {
+  ClassBuilder cb("app/Hostile", "java/lang/Object");
+  cb.AddMethod(AccessFlags::kStatic, "f", "()I").PushInt(3).Emit(Op::kIreturn);
+  ClassFile cls = cb.Build().value();
+  // Patch the first code byte to getfield_quick (0xd4).
+  MethodInfo* f = cls.FindMethod("f", "()I");
+  ASSERT_NE(f, nullptr);
+  ASSERT_TRUE(f->code.has_value());
+  f->code->code[0] = 0xd4;
+
+  MapClassEnv env;
+  auto verified = VerifyClass(cls, env);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.error().code, ErrorCode::kVerifyError);
+}
+
+TEST(QuickenDisasmTest, QuickFormsAreAnnotated) {
+  // Field quick forms annotate the resolved slot, not a constant-pool index.
+  EXPECT_EQ(DisassembleInstr(nullptr, Instr{Op::kGetfieldQuick, 5, 0}),
+            "getfield_quick #5 (slot)");
+  EXPECT_EQ(DisassembleInstr(nullptr, Instr{Op::kPutfieldQuick, 2, 0}),
+            "putfield_quick #2 (slot)");
+  // Cache-resident payloads print their site index.
+  std::string ldc = DisassembleInstr(nullptr, Instr{Op::kLdcQuick, 9, 0});
+  EXPECT_NE(ldc.find("ldc_quick"), std::string::npos) << ldc;
+  std::string iv = DisassembleInstr(nullptr, Instr{Op::kInvokevirtualQuick, 4, 0});
+  EXPECT_NE(iv.find("invokevirtual_quick"), std::string::npos) << iv;
+}
+
+TEST(QuickenDispatchTest, DispatchModeMatchesBuildConfiguration) {
+#if defined(DVM_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+  EXPECT_STREQ(InterpreterDispatchMode(), "threaded");
+#else
+  EXPECT_STREQ(InterpreterDispatchMode(), "switch");
+#endif
+}
+
+}  // namespace
+}  // namespace dvm
