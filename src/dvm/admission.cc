@@ -1,0 +1,88 @@
+#include "src/dvm/admission.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dvm {
+
+ShedTier ShedTierFor(ServiceClass service) {
+  if (AvailabilityPolicy::MustFailClosed(service)) {
+    return ShedTier::kUnsheddable;
+  }
+  switch (service) {
+    case ServiceClass::kMonitoring:
+    case ServiceClass::kProfiling:
+      return ShedTier::kShedFirst;
+    default:
+      return ShedTier::kShedLater;
+  }
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config), tokens_(config.burst) {
+  assert(config_.tokens_per_second > 0.0);
+}
+
+void AdmissionController::Refill(SimTime now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  double elapsed_s = static_cast<double>(now - last_refill_) / 1e9;
+  tokens_ = std::min(config_.burst, tokens_ + elapsed_s * config_.tokens_per_second);
+  last_refill_ = now;
+}
+
+AdmissionController::Decision AdmissionController::Offer(ServiceClass service, SimTime now) {
+  Refill(now);
+  ShedTier tier = ShedTierFor(service);
+  if (tier == ShedTier::kUnsheddable) {
+    // Fail-closed traffic is never turned away: it consumes a token when one
+    // is available (so it still counts against the sustained rate) but is
+    // admitted regardless of tokens and regardless of queue depth.
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+    }
+    queue_depth_++;
+    admitted_++;
+    return Decision{};
+  }
+
+  double fill =
+      tier == ShedTier::kShedFirst ? config_.shed_first_fill : config_.shed_later_fill;
+  size_t bound = static_cast<size_t>(static_cast<double>(config_.queue_capacity) * fill);
+  SimTime token_wait = 0;
+  if (tokens_ < 1.0) {
+    token_wait = SaturatingNanos((1.0 - tokens_) / config_.tokens_per_second * 1e9);
+  }
+  if (queue_depth_ >= bound || token_wait > 0) {
+    shed_total_++;
+    shed_by_tier_[static_cast<size_t>(tier)]++;
+    // Retry hint: wait for a token, plus — when the queue itself is over this
+    // tier's bound — the time for the excess backlog to drain at the token
+    // rate. Clients fold this into their exponential backoff.
+    SimTime drain_wait = 0;
+    if (queue_depth_ >= bound) {
+      double excess = static_cast<double>(queue_depth_ - bound + 1);
+      drain_wait = SaturatingNanos(excess / config_.tokens_per_second * 1e9);
+    }
+    SimTime hint = std::max<SimTime>(token_wait + drain_wait, kMillisecond);
+    // Cap the hint: advising a client to camp out for the whole storm keeps
+    // its request alive for minutes and lands it, eventually served, in the
+    // latency tail. Past the cap the client should exhaust its budget and
+    // fail fast instead.
+    return Decision{false, std::min(hint, config_.max_retry_after)};
+  }
+  tokens_ -= 1.0;
+  queue_depth_++;
+  admitted_++;
+  return Decision{};
+}
+
+void AdmissionController::Complete(SimTime now) {
+  Refill(now);
+  assert(queue_depth_ > 0);
+  queue_depth_--;
+}
+
+}  // namespace dvm

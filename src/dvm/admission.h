@@ -1,0 +1,102 @@
+// Admission control and priority-aware load shedding for the proxy tier.
+//
+// The flash-crowd scenario (one applet goes viral, 10^6 clients fetch it at
+// once) is exactly the overload Malkhi & Reiter's remote playground faces:
+// without admission control the request queue grows without bound, every
+// request's latency goes to the queue length, and the service collapses for
+// everyone. The production defense is a bounded queue with backpressure, a
+// token bucket smoothing the admit rate, and *priority-aware* shedding.
+//
+// Shedding is structurally subordinate to the fail-closed availability policy
+// from PR 2: a service class that MustFailClosed (verification, security) is
+// never shed — unverified code must never run, so verification traffic rides
+// through any overload and only pays queueing delay. Observability traffic
+// (monitoring, profiling) sheds first; compilation/optimization shed later.
+// Rejections are ErrorCode-typed (kOverloaded) and carry a retry-after hint
+// that the client backoff path honors. See DESIGN.md §12.
+#ifndef SRC_DVM_ADMISSION_H_
+#define SRC_DVM_ADMISSION_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/dvm/availability.h"
+#include "src/simnet/sim.h"
+#include "src/support/stats.h"
+
+namespace dvm {
+
+// Shed order: lower tiers shed first as the bounded queue fills. Pinned
+// fail-closed services are beyond any tier — structurally unsheddable.
+enum class ShedTier : uint8_t {
+  kShedFirst = 0,     // monitoring, profiling: observability only
+  kShedLater = 1,     // compilation, optimization: quality-of-service
+  kUnsheddable = 2,   // verification, security: never shed (fail-closed)
+};
+
+ShedTier ShedTierFor(ServiceClass service);
+
+struct AdmissionConfig {
+  // Token bucket: sustained admission rate and burst headroom. The bucket
+  // smooths arrival spikes; the queue bound caps standing backlog.
+  double tokens_per_second = 4000.0;
+  double burst = 400.0;
+  // Bounded request queue (admitted but not yet completed requests).
+  size_t queue_capacity = 1024;
+  // Fraction of queue_capacity each sheddable tier may occupy: observability
+  // traffic is turned away at half-full, quality-of-service traffic near
+  // full. Unsheddable traffic ignores the bound entirely.
+  double shed_first_fill = 0.5;
+  double shed_later_fill = 0.9;
+  // Ceiling on the retry-after hint. An honest drain estimate during a deep
+  // overload can run to minutes; a client told to wait that long camps out and
+  // then lands in the served-latency tail. Past this horizon the client
+  // should fail fast (exhaust its retry budget) rather than outwait the storm.
+  SimTime max_retry_after = 2 * kSecond;
+};
+
+// Virtual-time token bucket + bounded queue, one per proxy replica. Pure
+// discrete-event model state: all methods take the current virtual time and
+// the class is single-threaded like the rest of simnet.
+class AdmissionController {
+ public:
+  struct Decision {
+    bool admitted = true;
+    // When rejected: how long the client should wait before retrying (time
+    // until a token accrues, plus expected queue drain when over the bound).
+    SimTime retry_after = 0;
+  };
+
+  explicit AdmissionController(AdmissionConfig config);
+
+  // Admission decision for one request of `service` offered at `now`.
+  // Unsheddable services are always admitted. Sheddable services are rejected
+  // when their tier's queue-fill bound is exceeded or no token is available.
+  Decision Offer(ServiceClass service, SimTime now);
+
+  // Marks one admitted request finished, freeing its queue slot.
+  void Complete(SimTime now);
+
+  size_t queue_depth() const { return queue_depth_; }
+  uint64_t admitted() const { return admitted_; }
+  uint64_t shed_total() const { return shed_total_; }
+  uint64_t shed_for(ShedTier tier) const {
+    return shed_by_tier_[static_cast<size_t>(tier)];
+  }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  void Refill(SimTime now);
+
+  AdmissionConfig config_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+  size_t queue_depth_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_total_ = 0;
+  std::array<uint64_t, 3> shed_by_tier_{};
+};
+
+}  // namespace dvm
+
+#endif  // SRC_DVM_ADMISSION_H_

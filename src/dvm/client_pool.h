@@ -1,0 +1,115 @@
+// Pooled per-client state for million-client simulations.
+//
+// A RedirectingClient is a full VM: machine, enforcement manager, audit
+// session, avoid list — one heap object graph per client. That is the right
+// fidelity for hundreds of clients and hopeless for 10^6. ClientPool is the
+// scale path: per-client state lives in struct-of-arrays columns indexed by a
+// dense 32-bit client id (one cache line serves many clients), every timer is
+// a pooled raw-callback event on the EventQueue (no allocation per event),
+// and the request path is the *same policy* the full client runs — capped
+// exponential backoff from src/dvm/retry.h, admission control with
+// retry-after honored, fail-closed traffic never shed.
+//
+// The server side is the calibrated cost model: one CpuServer per proxy
+// replica (FIFO queueing of the per-request CPU measured on the real
+// DvmProxy) fronted by the same AdmissionController the RedirectingClient
+// path consults. See DESIGN.md §12.
+#ifndef SRC_DVM_CLIENT_POOL_H_
+#define SRC_DVM_CLIENT_POOL_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/dvm/admission.h"
+#include "src/dvm/availability.h"
+#include "src/simnet/sim.h"
+#include "src/support/stats.h"
+
+namespace dvm {
+
+struct ClientPoolConfig {
+  // Retry policy, mirroring RedirectConfig.
+  uint8_t retry_budget = 6;
+  SimTime backoff_base = 10 * kMillisecond;
+  SimTime backoff_cap = 400 * kMillisecond;
+
+  // Per-request cost model, calibrated from one real proxy exchange of the
+  // viral class: replica CPU per (cached) request and response size.
+  uint64_t service_cpu_nanos = 600'000;
+  uint64_t response_bytes = 20'000;
+  // Per-client access link (each client has its own; transfer time is
+  // arithmetic, not a shared SimLink, so a million links cost zero bytes).
+  double link_bytes_per_second = 10e6 / 8.0;
+  SimTime link_latency = 500'000;
+};
+
+class ClientPool {
+ public:
+  // `replicas` are the per-replica CPU servers; `admission` is one controller
+  // per replica or empty for no admission control (the queue-collapse
+  // baseline). Both are borrowed and must outlive the pool.
+  ClientPool(ClientPoolConfig config, EventQueue* queue,
+             std::vector<CpuServer>* replicas,
+             std::vector<AdmissionController>* admission, StatsRegistry* stats);
+
+  // Registers client `id` (dense, 0-based) with a traffic class and schedules
+  // its first request at `arrival`. Call once per id before running the queue.
+  void Start(uint32_t id, ServiceClass traffic, SimTime arrival);
+
+  size_t clients() const { return traffic_.size(); }
+  uint64_t issued() const { return issued_; }
+  uint64_t succeeded(ServiceClass service) const {
+    return succeeded_[static_cast<size_t>(service)];
+  }
+  uint64_t failed(ServiceClass service) const {
+    return failed_[static_cast<size_t>(service)];
+  }
+  uint64_t started(ServiceClass service) const {
+    return started_[static_cast<size_t>(service)];
+  }
+  uint64_t shed_attempts() const { return shed_attempts_; }
+  // End-to-end latency (first attempt to response delivered) per class, in
+  // the pool's StatsRegistry as "pool.latency.<service>".
+  Histogram::Snapshot Latency(ServiceClass service) const {
+    return latency_[static_cast<size_t>(service)]->TakeSnapshot();
+  }
+
+ private:
+  static constexpr size_t kServiceClasses = 6;
+
+  static void OnAttemptThunk(void* ctx, uint64_t arg) {
+    static_cast<ClientPool*>(ctx)->OnAttempt(static_cast<uint32_t>(arg));
+  }
+  static void OnCompleteThunk(void* ctx, uint64_t arg) {
+    static_cast<ClientPool*>(ctx)->OnComplete(static_cast<uint32_t>(arg),
+                                              static_cast<uint32_t>(arg >> 32));
+  }
+
+  void OnAttempt(uint32_t id);
+  void OnComplete(uint32_t id, uint32_t replica);
+  SimTime LinkTime() const;
+
+  ClientPoolConfig config_;
+  EventQueue* queue_;
+  std::vector<CpuServer>* replicas_;
+  std::vector<AdmissionController>* admission_;
+
+  // Struct-of-arrays per-client columns, indexed by client id. Kept narrow on
+  // purpose: a million clients are ~14 MB of column data.
+  std::vector<uint8_t> traffic_;      // ServiceClass
+  std::vector<uint8_t> attempts_;
+  std::vector<uint32_t> backoff_ns_;  // current exponential wait (cap < 4.2 s)
+  std::vector<SimTime> start_;        // first-attempt time
+
+  uint64_t issued_ = 0;
+  uint64_t shed_attempts_ = 0;
+  std::array<uint64_t, kServiceClasses> started_{};
+  std::array<uint64_t, kServiceClasses> succeeded_{};
+  std::array<uint64_t, kServiceClasses> failed_{};
+  std::array<Histogram*, kServiceClasses> latency_{};
+};
+
+}  // namespace dvm
+
+#endif  // SRC_DVM_CLIENT_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/dvm/retry.h"
 #include "src/services/verify_service.h"
 #include "src/support/hash.h"
 
@@ -14,8 +15,6 @@ namespace {
 constexpr uint64_t kSignatureCheckNanosPerByte = 35;
 // Size of a class-request message (headers + name), for failed round trips.
 constexpr uint64_t kRequestMessageBytes = 256;
-// How long a timeout keeps a replica out of a client's candidate rotation.
-constexpr SimTime kReplicaAvoidTtl = 2 * kSecond;
 
 // splitmix64 finalizer: the rendezvous weight mixer.
 uint64_t Mix64(uint64_t x) {
@@ -140,15 +139,20 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
   SimTime backoff = rc.backoff_base;
   size_t rank = 0;
   uint64_t attempts_made = 0;
+  uint64_t shed_attempts = 0;
+  SimTime retry_after = 0;
   for (uint64_t attempt = 0; attempt < rc.retry_budget; attempt++) {
     if (attempt > 0) {
       retries_++;
       stats_.Counter("redirect.retries").Add();
       SimTime backoff_start = machine_->virtual_nanos();
-      machine_->AddNanos(backoff);
+      // A shed rejection's retry-after hint overrides a shorter exponential
+      // wait: the server's drain estimate beats blind doubling.
+      machine_->AddNanos(EffectiveBackoff(backoff, retry_after));
+      retry_after = 0;
       TraceEmit(tracer_, "backoff", span.id(), backoff_start, machine_->virtual_nanos(),
                 "client");
-      backoff = std::min<SimTime>(backoff * 2, rc.backoff_cap);
+      backoff = NextBackoff(backoff, rc.backoff_cap);
     }
     SimTime now = machine_->virtual_nanos();
     if (cluster_->UpReplicas(now) == 0) {
@@ -201,9 +205,30 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
       continue;
     }
 
+    // Admission control at the replica frontend: sheddable traffic may be
+    // turned away with a retry-after hint; fail-closed traffic never is.
+    AdmissionController* admission = cluster_->admission(replica);
+    if (admission != nullptr) {
+      AdmissionController::Decision decision = admission->Offer(rc.traffic_class, now);
+      if (!decision.admitted) {
+        admission_sheds_++;
+        shed_attempts++;
+        stats_.Counter("redirect.shedded").Add();
+        retry_after = decision.retry_after;
+        TraceAnnotate(tracer_, attempt_span, "outcome", "shed");
+        TraceAnnotate(tracer_, attempt_span, "retry_after_ns",
+                      std::to_string(decision.retry_after));
+        TraceEnd(tracer_, attempt_span, machine_->virtual_nanos());
+        continue;
+      }
+    }
+
     auto response = cluster_->replica(replica).HandleRequest(
         class_name, "", TraceContext{tracer_, attempt_span, now});
     if (!response.ok()) {
+      if (admission != nullptr) {
+        admission->Complete(machine_->virtual_nanos());
+      }
       TraceAnnotate(tracer_, attempt_span, "outcome", "hard-error");
       TraceEnd(tracer_, attempt_span, machine_->virtual_nanos());
       return response.error();  // hard error (e.g. origin 404) — retries won't help
@@ -211,6 +236,11 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
 
     // Response leg.
     SimTime respond_at = machine_->virtual_nanos() + response->cpu_nanos;
+    if (admission != nullptr) {
+      // The replica finished serving at respond_at whether or not the reply
+      // survives the access link; its queue slot frees then.
+      admission->Complete(respond_at);
+    }
     if (faults != nullptr && faults->ShouldDrop(rc.link_name, respond_at)) {
       timeouts_++;
       stats_.Counter("redirect.timeouts").Add();
@@ -233,8 +263,18 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
   }
 
   // Every replica down, or the retry budget ran dry. The strictest required
-  // service decides.
+  // service decides — except when every attempt was shed by admission
+  // control, which is overload, not outage: the typed rejection tells the
+  // caller to come back later rather than to fail over.
   span.Annotate("attempts", std::to_string(attempts_made));
+  if (attempts_made > 0 && shed_attempts == attempts_made) {
+    overloaded_rejections_++;
+    stats_.Counter("redirect.overloaded").Add();
+    span.Annotate("deadline_outcome", "overloaded");
+    return Error{ErrorCode::kOverloaded,
+                 "admission control shed every attempt for " + class_name +
+                     "; retry after backoff"};
+  }
   if (rc.availability.EffectiveMode(rc.required_services) == AvailabilityMode::kFailOpen) {
     if (direct_ != nullptr) {
       auto direct_bytes = direct_->FetchClass(class_name);
@@ -298,6 +338,13 @@ DvmProxy& ProxyCluster::Route(const std::string& class_name) {
     }
   }
   return *proxies_[ranked.front()];
+}
+
+void ProxyCluster::EnableAdmission(AdmissionConfig config) {
+  admission_.clear();
+  for (size_t i = 0; i < proxies_.size(); i++) {
+    admission_.push_back(std::make_unique<AdmissionController>(config));
+  }
 }
 
 void ProxyCluster::SetReplicaUp(size_t index, bool up) {

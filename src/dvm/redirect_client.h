@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/dvm/admission.h"
 #include "src/dvm/availability.h"
 #include "src/dvm/dvm.h"
 #include "src/simnet/fault.h"
@@ -49,6 +50,12 @@ struct RedirectConfig {
   AvailabilityPolicy availability;
   // Key identifying this client's access link in the FaultPlan.
   std::string link_name = "client-proxy";
+  // Service class this client's fetches represent for admission priority.
+  // Verification (the default) is structurally unsheddable; an
+  // observability-only client (monitoring/profiling) is shed first under
+  // overload and its rejections come back ErrorCode::kOverloaded with a
+  // retry-after the backoff path honors.
+  ServiceClass traffic_class = ServiceClass::kVerification;
 };
 
 // A load-balanced bank of proxies sharing one origin — the paper's answer to
@@ -86,12 +93,23 @@ class ProxyCluster {
   void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
   FaultInjector* fault_injector() const { return faults_; }
 
+  // Installs a bounded-queue/token-bucket admission controller in front of
+  // every replica. Clients consult the target replica's controller before
+  // each request; sheddable traffic gets turned away with a retry-after hint
+  // while fail-closed (verification/security) traffic always gets through.
+  void EnableAdmission(AdmissionConfig config);
+  // Null when admission control is not enabled.
+  AdmissionController* admission(size_t index) {
+    return index < admission_.size() ? admission_[index].get() : nullptr;
+  }
+
   size_t size() const { return proxies_.size(); }
   DvmProxy& replica(size_t index) { return *proxies_[index]; }
   uint64_t total_cpu_nanos() const;
 
  private:
   std::vector<std::unique_ptr<DvmProxy>> proxies_;
+  std::vector<std::unique_ptr<AdmissionController>> admission_;
   std::vector<bool> manual_down_;
   FaultInjector* faults_ = nullptr;
 };
@@ -122,11 +140,17 @@ class RedirectingClient : public ClassProvider {
   uint64_t failovers() const { return failovers_; }
   uint64_t fail_closed_rejections() const { return fail_closed_rejections_; }
   uint64_t fail_open_serves() const { return fail_open_serves_; }
+  // Attempts turned away by a replica's admission controller (never happens
+  // for verification/security traffic) and fetches that exhausted the retry
+  // budget with every attempt shed (typed ErrorCode::kOverloaded).
+  uint64_t admission_sheds() const { return admission_sheds_; }
+  uint64_t overloaded_rejections() const { return overloaded_rejections_; }
 
   // Named counters mirroring the accessors above: redirect.{direct_hits,
   // direct_misses,redirects,rejected_signatures,timeouts,retries,failovers,
-  // dropped,fail_closed_rejections,fail_open_serves}; plus the
-  // redirect.fetch_nanos histogram (end-to-end virtual fetch latency).
+  // dropped,fail_closed_rejections,fail_open_serves,shedded,overloaded};
+  // plus the redirect.fetch_nanos histogram (end-to-end virtual fetch
+  // latency).
   const StatsRegistry& stats() const { return stats_; }
 
   // Observability: with a tracer installed, every FetchClass opens a root
@@ -167,6 +191,8 @@ class RedirectingClient : public ClassProvider {
   uint64_t failovers_ = 0;
   uint64_t fail_closed_rejections_ = 0;
   uint64_t fail_open_serves_ = 0;
+  uint64_t admission_sheds_ = 0;
+  uint64_t overloaded_rejections_ = 0;
   StatsRegistry stats_;
   Histogram& h_fetch_nanos_;
   Tracer* tracer_ = nullptr;

@@ -1,0 +1,32 @@
+// Shared client retry policy: capped exponential backoff and the timeout
+// avoid-list TTL. Extracted from RedirectingClient so the pooled million-
+// client simulation (ClientPool) runs the *same* policy the full-VM client
+// runs — the flash-crowd numbers measure the production backoff behavior,
+// not a bench-only approximation.
+#ifndef SRC_DVM_RETRY_H_
+#define SRC_DVM_RETRY_H_
+
+#include <algorithm>
+
+#include "src/simnet/sim.h"
+
+namespace dvm {
+
+// How long a request timeout keeps a replica out of a client's rotation.
+inline constexpr SimTime kReplicaAvoidTtl = 2 * kSecond;
+
+// Capped exponential backoff progression.
+inline SimTime NextBackoff(SimTime current, SimTime cap) {
+  return std::min<SimTime>(current * 2, cap);
+}
+
+// Backoff actually waited for this attempt: the exponential schedule, raised
+// to the server's retry-after hint when the rejection carried one (admission
+// control's drain estimate beats blind exponential growth).
+inline SimTime EffectiveBackoff(SimTime backoff, SimTime retry_after) {
+  return std::max(backoff, retry_after);
+}
+
+}  // namespace dvm
+
+#endif  // SRC_DVM_RETRY_H_

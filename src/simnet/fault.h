@@ -23,7 +23,7 @@
 
 namespace dvm {
 
-inline constexpr SimTime kSimTimeForever = std::numeric_limits<SimTime>::max();
+// kSimTimeForever lives in sim.h now (the saturating-cast helpers need it).
 
 // Fault parameters for one link (or the default for unnamed links).
 struct LinkFaults {

@@ -2,30 +2,310 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace dvm {
 
+namespace {
+
+// All-ones from bit `from` upward; 0 when from >= 64.
+inline uint64_t BitsFrom(int from) {
+  return from >= 64 ? 0 : (~0ULL << from);
+}
+
+inline int CountTrailingZeros(uint64_t x) {
+  assert(x != 0);
+  return __builtin_ctzll(x);
+}
+
+}  // namespace
+
+EventQueue::Backend EventQueue::DefaultBackend() {
+  static const Backend backend = [] {
+    const char* env = std::getenv("DVM_EVENT_QUEUE");
+    if (env != nullptr && std::strcmp(env, "heap") == 0) {
+      return Backend::kHeap;
+    }
+    return Backend::kWheel;
+  }();
+  return backend;
+}
+
+EventQueue::EventQueue(Backend backend) : backend_(backend) {}
+
+uint32_t EventQueue::AllocRecord() {
+  if (free_head_ != kNil) {
+    uint32_t index = free_head_;
+    free_head_ = pool_[index].next;
+    return index;
+  }
+  assert(pool_.size() < kNil);
+  pool_.emplace_back();
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+void EventQueue::FreeRecord(uint32_t index) {
+  Event& event = pool_[index];
+  event.raw_fn = nullptr;
+  event.raw_ctx = nullptr;
+  event.callback = nullptr;
+  event.next = free_head_;
+  free_head_ = index;
+}
+
+void EventQueue::PushSlot(int level, int slot, uint32_t index) {
+  Slot& s = wheel_[level][slot];
+  pool_[index].next = kNil;
+  if (s.head == kNil) {
+    s.head = s.tail = index;
+  } else {
+    pool_[s.tail].next = index;
+    s.tail = index;
+  }
+  occupied_[level] |= 1ULL << slot;
+}
+
+void EventQueue::InsertWheel(uint32_t index) {
+  uint64_t tick = pool_[index].when >> kTickShift;
+  if (tick <= current_tick_) {
+    // Due in the tick being executed (or the wheel has not advanced past it
+    // yet): straight to the ready heap, which orders by (when, sequence).
+    ReadyPush(index);
+    return;
+  }
+  // File at the lowest level whose parent super-slot still contains `now` —
+  // that level's slot for `tick` has not been passed, so it is reachable by
+  // a forward scan of the current rotation.
+  for (int level = 0; level < kLevels; level++) {
+    int parent_shift = kSlotBits * (level + 1);
+    if ((tick >> parent_shift) == (current_tick_ >> parent_shift)) {
+      PushSlot(level, static_cast<int>((tick >> (kSlotBits * level)) & (kSlots - 1)), index);
+      return;
+    }
+  }
+  overflow_.push_back(index);
+}
+
+void EventQueue::ReadyPush(uint32_t index) {
+  ready_.push_back(index);
+  std::push_heap(ready_.begin(), ready_.end(), [this](uint32_t a, uint32_t b) {
+    const Event& ea = pool_[a];
+    const Event& eb = pool_[b];
+    return ea.when != eb.when ? ea.when > eb.when : ea.sequence > eb.sequence;
+  });
+}
+
+uint32_t EventQueue::ReadyPop() {
+  std::pop_heap(ready_.begin(), ready_.end(), [this](uint32_t a, uint32_t b) {
+    const Event& ea = pool_[a];
+    const Event& eb = pool_[b];
+    return ea.when != eb.when ? ea.when > eb.when : ea.sequence > eb.sequence;
+  });
+  uint32_t index = ready_.back();
+  ready_.pop_back();
+  return index;
+}
+
+void EventQueue::DrainSlotToReady(int level, int slot) {
+  uint32_t index = wheel_[level][slot].head;
+  wheel_[level][slot] = Slot{};
+  occupied_[level] &= ~(1ULL << slot);
+  while (index != kNil) {
+    uint32_t next = pool_[index].next;
+    ReadyPush(index);
+    index = next;
+  }
+}
+
+void EventQueue::CascadeSlot(int level, int slot) {
+  uint32_t index = wheel_[level][slot].head;
+  wheel_[level][slot] = Slot{};
+  occupied_[level] &= ~(1ULL << slot);
+  while (index != kNil) {
+    uint32_t next = pool_[index].next;
+    InsertWheel(index);  // re-files at a lower level relative to current_tick_
+    index = next;
+  }
+}
+
+bool EventQueue::AdvanceWheel() {
+  while (ready_.empty()) {
+    // Next occupied level-0 slot in the current rotation, if any.
+    int slot0 = static_cast<int>(current_tick_ & (kSlots - 1));
+    uint64_t mask0 = occupied_[0] & BitsFrom(slot0);
+    if (mask0 != 0) {
+      int slot = CountTrailingZeros(mask0);
+      current_tick_ = (current_tick_ & ~static_cast<uint64_t>(kSlots - 1)) |
+                      static_cast<uint64_t>(slot);
+      DrainSlotToReady(0, slot);
+      continue;  // ready_ now non-empty
+    }
+    // Level-0 rotation exhausted: cascade the nearest higher-level slot down.
+    // Lower levels hold strictly sooner events, so scan levels in order.
+    bool cascaded = false;
+    for (int level = 1; level < kLevels && !cascaded; level++) {
+      int slotL = static_cast<int>((current_tick_ >> (kSlotBits * level)) & (kSlots - 1));
+      uint64_t maskL = occupied_[level] & BitsFrom(slotL);
+      if (maskL == 0) {
+        continue;
+      }
+      int slot = CountTrailingZeros(maskL);
+      int shift = kSlotBits * (level + 1);
+      uint64_t parent_base = (current_tick_ >> shift) << shift;
+      current_tick_ = parent_base + (static_cast<uint64_t>(slot) << (kSlotBits * level));
+      CascadeSlot(level, slot);
+      cascaded = true;
+    }
+    if (cascaded) {
+      continue;
+    }
+    if (overflow_.empty()) {
+      return false;
+    }
+    // Everything left is beyond the old horizon. Rebase the wheel at the
+    // earliest overflow event and re-file the whole list; re-filed events are
+    // now within the (new) horizon or stay in overflow for a later rebase.
+    uint64_t min_tick = kSimTimeForever;
+    for (uint32_t index : overflow_) {
+      min_tick = std::min(min_tick, pool_[index].when >> kTickShift);
+    }
+    current_tick_ = min_tick;
+    std::vector<uint32_t> pending_overflow;
+    pending_overflow.swap(overflow_);
+    for (uint32_t index : pending_overflow) {
+      if ((pool_[index].when >> kTickShift) == current_tick_) {
+        ReadyPush(index);
+      } else {
+        InsertWheel(index);
+      }
+    }
+  }
+  return true;
+}
+
 void EventQueue::Schedule(SimTime when, Callback callback) {
   assert(when >= now_);
-  events_.push_back(Event{when, next_sequence_++, std::move(callback)});
-  std::push_heap(events_.begin(), events_.end(), std::greater<>{});
+  if (backend_ == Backend::kHeap) {
+    heap_.push_back(HeapEvent{when, next_sequence_++, std::move(callback)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  } else {
+    uint32_t index = AllocRecord();
+    Event& event = pool_[index];
+    event.when = when;
+    event.sequence = next_sequence_++;
+    event.callback = std::move(callback);
+    InsertWheel(index);
+  }
+  pending_++;
+}
+
+void EventQueue::Schedule(SimTime when, RawCallback fn, void* ctx, uint64_t arg) {
+  assert(when >= now_);
+  if (backend_ == Backend::kHeap) {
+    // Reference backend: wrap into the std::function path (allocation is fine
+    // there; the raw path only needs to be allocation-free on the wheel).
+    Schedule(when, [fn, ctx, arg] { fn(ctx, arg); });
+    return;
+  }
+  uint32_t index = AllocRecord();
+  Event& event = pool_[index];
+  event.when = when;
+  event.sequence = next_sequence_++;
+  event.raw_fn = fn;
+  event.raw_ctx = ctx;
+  event.raw_arg = arg;
+  InsertWheel(index);
+  pending_++;
+}
+
+void EventQueue::CheckRunawayGuard() {
+  if (max_events_ != 0 && events_run_ > max_events_) {
+    std::fprintf(stderr,
+                 "EventQueue: runaway scenario — %llu events executed "
+                 "(max_events=%llu), aborting at t=%llu ns with %zu pending\n",
+                 static_cast<unsigned long long>(events_run_),
+                 static_cast<unsigned long long>(max_events_),
+                 static_cast<unsigned long long>(now_), pending_);
+    std::abort();
+  }
+}
+
+bool EventQueue::RunNextWheel() {
+  if (ready_.empty() && !AdvanceWheel()) {
+    return false;
+  }
+  uint32_t index = ReadyPop();
+  Event& event = pool_[index];
+  now_ = event.when;
+  pending_--;
+  events_run_++;
+  CheckRunawayGuard();
+  // Move everything out before freeing: the callback may Schedule, which can
+  // grow the pool (invalidating `event`) or reuse this very record.
+  if (event.raw_fn != nullptr) {
+    RawCallback fn = event.raw_fn;
+    void* ctx = event.raw_ctx;
+    uint64_t arg = event.raw_arg;
+    FreeRecord(index);
+    fn(ctx, arg);
+  } else {
+    Callback callback = std::move(event.callback);
+    FreeRecord(index);
+    callback();
+  }
+  return true;
+}
+
+bool EventQueue::RunNextHeap() {
+  if (heap_.empty()) {
+    return false;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  HeapEvent event = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = event.when;
+  pending_--;
+  events_run_++;
+  CheckRunawayGuard();
+  event.callback();
+  return true;
 }
 
 bool EventQueue::RunNext() {
-  if (events_.empty()) {
-    return false;
-  }
-  std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
-  Event event = std::move(events_.back());
-  events_.pop_back();
-  now_ = event.when;
-  event.callback();
-  return true;
+  return backend_ == Backend::kHeap ? RunNextHeap() : RunNextWheel();
 }
 
 void EventQueue::RunUntilEmpty() {
   while (RunNext()) {
   }
+}
+
+bool EventQueue::PeekNextWhen(SimTime* when) {
+  if (backend_ == Backend::kHeap) {
+    if (heap_.empty()) {
+      return false;
+    }
+    *when = heap_.front().when;
+    return true;
+  }
+  if (ready_.empty() && !AdvanceWheel()) {
+    return false;
+  }
+  *when = pool_[ready_.front()].when;
+  return true;
+}
+
+size_t EventQueue::RunUntil(SimTime deadline) {
+  size_t ran = 0;
+  SimTime when = 0;
+  while (PeekNextWhen(&when) && when <= deadline) {
+    RunNext();
+    ran++;
+  }
+  now_ = std::max(now_, deadline);
+  return ran;
 }
 
 SimTime SimLink::Deliver(SimTime start, uint64_t bytes) {

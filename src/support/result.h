@@ -26,6 +26,8 @@ enum class ErrorCode {
   kNetwork,          // simulated transfer failure
   kUnavailable,      // every service replica down; fail-closed policies map
                      // this to "no code runs" (see DESIGN.md failure semantics)
+  kOverloaded,       // admission control shed the request (bounded queue /
+                     // token bucket); retry after the hinted backoff
   kInternal,         // invariant violation
 };
 
@@ -60,6 +62,8 @@ inline const char* ErrorCodeName(ErrorCode code) {
       return "Network";
     case ErrorCode::kUnavailable:
       return "Unavailable";
+    case ErrorCode::kOverloaded:
+      return "Overloaded";
     case ErrorCode::kInternal:
       return "Internal";
   }

@@ -1,0 +1,35 @@
+#include "src/workloads/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvm {
+
+double ArrivalGenerator::RateAt(SimTime now) const {
+  if (config_.surge_duration == 0 || now < config_.surge_at ||
+      now >= config_.surge_at + config_.surge_duration) {
+    return config_.base_per_second;
+  }
+  // Linear decay from surge_factor back to 1x across the window.
+  double progress = static_cast<double>(now - config_.surge_at) /
+                    static_cast<double>(config_.surge_duration);
+  double factor = config_.surge_factor + (1.0 - config_.surge_factor) * progress;
+  return config_.base_per_second * std::max(factor, 1.0);
+}
+
+SimTime ArrivalGenerator::Next() {
+  double rate = RateAt(last_);
+  // Exponential gap at the instantaneous rate (thinning a proper
+  // time-varying Poisson process is overkill for a load model; the rate
+  // changes slowly relative to the gaps).
+  double u = rng_.NextDouble();
+  double gap_s = -std::log(1.0 - std::min(u, 0.999999999)) / rate;
+  if (rng_.Chance(config_.tail_fraction)) {
+    gap_s *= rng_.NextLognormal(1.0, config_.tail_sigma);
+  }
+  SimTime gap = SaturatingNanos(gap_s * 1e9);
+  last_ += std::max<SimTime>(gap, 1);  // strictly increasing
+  return last_;
+}
+
+}  // namespace dvm

@@ -1,0 +1,54 @@
+// Open-loop arrival processes for population-scale load generation.
+//
+// The closed-loop benches (one client, fetch after fetch) measure latency
+// under zero contention; a service tier's failure mode only appears under
+// open-loop load, where arrivals do not slow down because the server did.
+// ArrivalGenerator produces deterministic, heavy-tailed arrival times: base
+// traffic is exponential inter-arrival (Poisson) with a lognormal
+// multiplicative jitter — calibrated against the same lognormal family the
+// paper measured for applet fetch latency (section 4.1.2) — and a flash-crowd
+// window multiplies the rate while one applet goes viral.
+#ifndef SRC_WORKLOADS_ARRIVALS_H_
+#define SRC_WORKLOADS_ARRIVALS_H_
+
+#include <cstdint>
+
+#include "src/simnet/sim.h"
+#include "src/support/rng.h"
+
+namespace dvm {
+
+struct ArrivalConfig {
+  uint64_t seed = 1;
+  // Sustained background arrival rate.
+  double base_per_second = 1000.0;
+  // Flash crowd: during [surge_at, surge_at + surge_duration) the rate is
+  // multiplied by surge_factor, decaying linearly back to 1x over the window.
+  SimTime surge_at = kSimTimeForever;
+  SimTime surge_duration = 0;
+  double surge_factor = 1.0;
+  // Heavy tail: fraction of gaps stretched by a lognormal factor (mean 1,
+  // stddev `tail_sigma`), so bursts cluster the way real populations do.
+  double tail_fraction = 0.1;
+  double tail_sigma = 3.0;
+};
+
+class ArrivalGenerator {
+ public:
+  explicit ArrivalGenerator(ArrivalConfig config) : config_(config), rng_(config.seed) {}
+
+  // Arrival time of the next client, strictly after the previous one.
+  // Deterministic for a given config/seed and call count.
+  SimTime Next();
+
+  double RateAt(SimTime now) const;
+
+ private:
+  ArrivalConfig config_;
+  Rng rng_;
+  SimTime last_ = 0;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_WORKLOADS_ARRIVALS_H_

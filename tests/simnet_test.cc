@@ -367,6 +367,58 @@ TEST_F(FailoverTest, ScheduledOutageFromFaultPlanDrivesHealth) {
   EXPECT_EQ(cluster_->UpReplicas(0), 0u);
 }
 
+TEST_F(FailoverTest, OverloadedClusterShedsObservabilityWithTypedRejection) {
+  // Starve the token bucket completely: every sheddable offer is rejected
+  // with a retry-after hint (capped at max_retry_after).
+  AdmissionConfig admission;
+  admission.tokens_per_second = 0.5;
+  admission.burst = 0.0;
+  admission.max_retry_after = 2 * kSecond;
+  cluster_->EnableAdmission(admission);
+
+  RedirectingClient client(server_.get(), nullptr, DvmMachineConfig(), MakeEthernet10Mb());
+  RedirectConfig config;
+  config.traffic_class = ServiceClass::kMonitoring;
+  config.required_services = {ServiceClass::kMonitoring};
+  client.UseCluster(cluster_.get(), config);
+
+  uint64_t before = client.machine().virtual_nanos();
+  auto bytes = client.FetchClass("app/Main");
+  ASSERT_FALSE(bytes.ok());
+  // Overload is not an outage: the rejection is typed kOverloaded, not
+  // kUnavailable, so the caller backs off instead of failing over.
+  EXPECT_EQ(bytes.error().code, ErrorCode::kOverloaded);
+  EXPECT_EQ(client.admission_sheds(), config.retry_budget);
+  EXPECT_EQ(client.overloaded_rejections(), 1u);
+  EXPECT_EQ(client.stats().Value("redirect.shedded"), config.retry_budget);
+  EXPECT_EQ(client.stats().Value("redirect.overloaded"), 1u);
+  // The retry-after hint (2 s, far above the 400 ms backoff cap) was honored
+  // on each of the budget's five waits.
+  EXPECT_GE(client.machine().virtual_nanos() - before, 5 * 2 * kSecond);
+  EXPECT_EQ(client.fail_closed_rejections(), 0u);
+}
+
+TEST_F(FailoverTest, VerificationTrafficRidesThroughOverload) {
+  // Same starved bucket: fail-closed traffic is structurally unsheddable and
+  // must be served on the first attempt.
+  AdmissionConfig admission;
+  admission.tokens_per_second = 0.5;
+  admission.burst = 0.0;
+  cluster_->EnableAdmission(admission);
+
+  RedirectingClient client(server_.get(), nullptr, DvmMachineConfig(), MakeEthernet10Mb());
+  client.UseCluster(cluster_.get());  // default traffic class: verification
+
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(client.FetchClass("app/C" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(client.admission_sheds(), 0u);
+  EXPECT_EQ(client.overloaded_rejections(), 0u);
+  for (size_t i = 0; i < cluster_->size(); i++) {
+    EXPECT_EQ(cluster_->admission(i)->shed_for(ShedTier::kUnsheddable), 0u);
+  }
+}
+
 TEST_F(FailoverTest, DirectMissesAreCountedAndCharged) {
   // Direct source exists but lacks the app classes entirely.
   MapClassProvider direct;

@@ -1,0 +1,401 @@
+// Differential and unit tests for the scale layer: the hierarchical timer
+// wheel against the reference binary heap (identical execution order on
+// random schedules, by construction of the (when, sequence) contract), the
+// saturating time conversions, the runaway guard, the slab/freelist bound,
+// admission control's shed-priority policy, and the pooled million-client
+// ClientPool.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/dvm/admission.h"
+#include "src/dvm/client_pool.h"
+#include "src/dvm/retry.h"
+#include "src/simnet/sim.h"
+#include "src/support/rng.h"
+
+namespace dvm {
+namespace {
+
+// --- wheel vs heap differential --------------------------------------------------
+
+// Runs the same schedule on both backends and asserts identical execution
+// sequences (event id, firing time, clock reading).
+struct Recorded {
+  uint64_t id;
+  SimTime at;
+  bool operator==(const Recorded& other) const { return id == other.id && at == other.at; }
+};
+
+class Recorder {
+ public:
+  explicit Recorder(EventQueue::Backend backend) : queue_(backend) {}
+
+  void Add(SimTime when, uint64_t id) {
+    queue_.Schedule(when, [this, id] { events_.push_back({id, queue_.now()}); });
+  }
+
+  EventQueue& queue() { return queue_; }
+  const std::vector<Recorded>& events() const { return events_; }
+
+ private:
+  EventQueue queue_;
+  std::vector<Recorded> events_;
+};
+
+TEST(TimerWheelDifferentialTest, RandomScheduleMatchesHeapExactly) {
+  // Mixed magnitudes: same-tick ties, nearby ticks, far ticks crossing many
+  // wheel levels. Both backends must run the identical sequence.
+  Rng rng(2024);
+  Recorder wheel(EventQueue::Backend::kWheel);
+  Recorder heap(EventQueue::Backend::kHeap);
+  for (uint64_t id = 0; id < 4000; id++) {
+    uint64_t magnitude = rng.Uniform(14);  // up to ~10^13 ns, beyond level 0-5
+    SimTime when = rng.Uniform(10) + (rng.Next() % (1ULL << (magnitude * 4 % 44)));
+    wheel.Add(when, id);
+    heap.Add(when, id);
+  }
+  wheel.queue().RunUntilEmpty();
+  heap.queue().RunUntilEmpty();
+  ASSERT_EQ(wheel.events().size(), 4000u);
+  EXPECT_EQ(wheel.events(), heap.events());
+  EXPECT_EQ(wheel.queue().now(), heap.queue().now());
+}
+
+TEST(TimerWheelDifferentialTest, NestedSchedulingFromCallbacksMatches) {
+  // Callbacks schedule follow-ups relative to the (shared) virtual clock —
+  // the pattern every simulation loop uses. Sequence numbers are assigned at
+  // Schedule time, so both backends must interleave identically.
+  for (auto backend : {EventQueue::Backend::kWheel, EventQueue::Backend::kHeap}) {
+    EventQueue queue(backend);
+    std::vector<Recorded> events;
+    Rng rng(7);
+    for (uint64_t id = 0; id < 64; id++) {
+      SimTime when = rng.Uniform(1000);
+      queue.Schedule(when, [&, id] {
+        events.push_back({id, queue.now()});
+        if (id % 3 != 0) {
+          // Two generations of follow-up events, some landing on tied times.
+          queue.Schedule(queue.now() + (id % 5) * 100, [&, id] {
+            events.push_back({id + 1000, queue.now()});
+            queue.Schedule(queue.now(), [&, id] { events.push_back({id + 2000, queue.now()}); });
+          });
+        }
+      });
+    }
+    queue.RunUntilEmpty();
+    static std::vector<Recorded> reference;
+    if (backend == EventQueue::Backend::kWheel) {
+      reference = events;
+    } else {
+      EXPECT_EQ(events, reference);
+    }
+  }
+}
+
+TEST(TimerWheelDifferentialTest, TiesRunInScheduleOrderAcrossLevels) {
+  // Ties filed from different wheel levels (one direct, one cascaded from a
+  // higher level) must still fire in schedule order.
+  EventQueue queue(EventQueue::Backend::kWheel);
+  std::vector<uint64_t> order;
+  SimTime far = 50'000'000;  // several level-1 rotations out
+  queue.Schedule(far, [&] { order.push_back(0); });
+  queue.Schedule(1000, [&] {
+    order.push_back(10);
+    queue.Schedule(far, [&] { order.push_back(1); });  // same time, later sequence
+  });
+  queue.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<uint64_t>{10, 0, 1}));
+}
+
+TEST(TimerWheelDifferentialTest, FarFutureEventsBeyondHorizonOverflowAndRun) {
+  // The wheel spans ~19.5 hours; these sit days out and exercise the
+  // overflow list and the rebase path.
+  Recorder wheel(EventQueue::Backend::kWheel);
+  Recorder heap(EventQueue::Backend::kHeap);
+  const SimTime day = 86'400ULL * kSecond;
+  std::vector<SimTime> whens = {5,          3 * day,      3 * day,  90 * day,
+                                2 * kSecond, 3 * day + 1, 400 * day};
+  for (uint64_t id = 0; id < whens.size(); id++) {
+    wheel.Add(whens[id], id);
+    heap.Add(whens[id], id);
+  }
+  wheel.queue().RunUntilEmpty();
+  heap.queue().RunUntilEmpty();
+  EXPECT_EQ(wheel.events(), heap.events());
+  EXPECT_EQ(wheel.queue().now(), 400 * day);
+}
+
+TEST(TimerWheelDifferentialTest, RawCallbackPathMatchesFunctionPath) {
+  struct Capture {
+    EventQueue* queue;
+    std::vector<Recorded> events;
+  };
+  auto fire = +[](void* ctx, uint64_t arg) {
+    auto* capture = static_cast<Capture*>(ctx);
+    capture->events.push_back({arg, capture->queue->now()});
+  };
+  Rng rng(99);
+  std::vector<SimTime> whens;
+  for (int i = 0; i < 512; i++) {
+    whens.push_back(rng.Uniform(1 << 20));
+  }
+  std::vector<Recorded> reference;
+  for (auto backend : {EventQueue::Backend::kWheel, EventQueue::Backend::kHeap}) {
+    EventQueue queue(backend);
+    Capture capture{&queue, {}};
+    for (uint64_t id = 0; id < whens.size(); id++) {
+      queue.Schedule(whens[id], fire, &capture, id);
+    }
+    queue.RunUntilEmpty();
+    ASSERT_EQ(capture.events.size(), whens.size());
+    if (backend == EventQueue::Backend::kWheel) {
+      reference = capture.events;
+    } else {
+      EXPECT_EQ(capture.events, reference);
+    }
+  }
+}
+
+// --- RunUntil / guard / pool -----------------------------------------------------
+
+TEST(EventQueueRunUntilTest, RunsThroughDeadlineAndAdvancesClock) {
+  for (auto backend : {EventQueue::Backend::kWheel, EventQueue::Backend::kHeap}) {
+    EventQueue queue(backend);
+    std::vector<uint64_t> ran;
+    for (uint64_t id = 0; id < 10; id++) {
+      queue.Schedule(id * 100, [&ran, id] { ran.push_back(id); });
+    }
+    EXPECT_EQ(queue.RunUntil(450), 5u);  // ids 0..4 (when 0..400)
+    EXPECT_EQ(ran.size(), 5u);
+    EXPECT_EQ(queue.now(), 450u);  // clock lands on the deadline, not the last event
+    EXPECT_EQ(queue.pending(), 5u);
+    EXPECT_EQ(queue.RunUntil(10'000), 5u);
+    EXPECT_EQ(queue.now(), 10'000u);
+    // Idle window: no events, clock still advances.
+    EXPECT_EQ(queue.RunUntil(20'000), 0u);
+    EXPECT_EQ(queue.now(), 20'000u);
+  }
+}
+
+TEST(EventQueueGuardDeathTest, RunawayScheduleAbortsLoudly) {
+  auto runaway = [] {
+    EventQueue queue;
+    queue.set_max_events(100);
+    // Self-perpetuating event: a scenario bug that would otherwise spin
+    // forever must die with a diagnostic instead.
+    std::function<void()> tick = [&] { queue.Schedule(queue.now() + 10, tick); };
+    queue.Schedule(0, tick);
+    queue.RunUntilEmpty();
+  };
+  EXPECT_DEATH(runaway(), "runaway scenario");
+}
+
+TEST(EventQueuePoolTest, FreelistBoundsSlabByPeakPendingNotTotal) {
+  EventQueue queue(EventQueue::Backend::kWheel);
+  // 64 events in flight at any moment, 64 * 256 scheduled in total: the slab
+  // must track the peak, not the volume.
+  uint64_t fired = 0;
+  for (int wave = 0; wave < 256; wave++) {
+    for (int i = 0; i < 64; i++) {
+      queue.Schedule(queue.now() + 1 + static_cast<SimTime>(i), [&fired] { fired++; });
+    }
+    while (queue.pending() > 0) {
+      queue.RunNext();
+    }
+  }
+  EXPECT_EQ(fired, 64u * 256u);
+  EXPECT_LE(queue.pool_capacity(), 64u);
+  EXPECT_EQ(queue.events_run(), 64u * 256u);
+}
+
+TEST(SaturatingNanosTest, ClampsInsteadOfWrapping) {
+  EXPECT_EQ(SaturatingNanos(-5.0), 0u);
+  EXPECT_EQ(SaturatingNanos(std::nan("")), 0u);
+  EXPECT_EQ(SaturatingNanos(0.0), 0u);
+  EXPECT_EQ(SaturatingNanos(1234.9), 1234u);
+  EXPECT_EQ(SaturatingNanos(1e19), kSimTimeForever);
+  EXPECT_EQ(SaturatingNanos(std::numeric_limits<double>::infinity()), kSimTimeForever);
+}
+
+TEST(SaturatingNanosTest, LinkAndWanDurationsSaturate) {
+  // A petabyte on a 1 B/s link used to wrap the double→uint64 cast into a
+  // small bogus duration; now it clamps to "never".
+  SimLink link(1.0, 0);
+  EXPECT_EQ(link.TransmissionTime(1ULL << 62), kSimTimeForever);
+  EXPECT_EQ(SimLink(1000.0, 0).TransmissionTime(2000), 2 * kSecond);
+  WanModel wan(1, 2198.0, 3752.0, /*bytes_per_second=*/0.001);
+  EXPECT_EQ(wan.FetchDuration(1ULL << 62), kSimTimeForever);
+}
+
+// --- admission control / shed policy ---------------------------------------------
+
+TEST(ShedPolicyTest, TiersFollowAvailabilityPolicy) {
+  // Fail-closed classes are structurally unsheddable; observability sheds
+  // before quality-of-service.
+  EXPECT_EQ(ShedTierFor(ServiceClass::kVerification), ShedTier::kUnsheddable);
+  EXPECT_EQ(ShedTierFor(ServiceClass::kSecurity), ShedTier::kUnsheddable);
+  EXPECT_EQ(ShedTierFor(ServiceClass::kMonitoring), ShedTier::kShedFirst);
+  EXPECT_EQ(ShedTierFor(ServiceClass::kProfiling), ShedTier::kShedFirst);
+  EXPECT_EQ(ShedTierFor(ServiceClass::kCompilation), ShedTier::kShedLater);
+  EXPECT_EQ(ShedTierFor(ServiceClass::kOptimization), ShedTier::kShedLater);
+}
+
+TEST(AdmissionControllerTest, VerificationIsNeverShedAtAnyDepth) {
+  AdmissionConfig config;
+  config.queue_capacity = 8;
+  config.tokens_per_second = 1000.0;
+  config.burst = 4.0;
+  AdmissionController admission(config);
+  // Flood far past the queue bound and the token supply: every verification
+  // offer is still admitted.
+  for (int i = 0; i < 10'000; i++) {
+    EXPECT_TRUE(admission.Offer(ServiceClass::kVerification, 0).admitted);
+  }
+  EXPECT_EQ(admission.queue_depth(), 10'000u);
+  EXPECT_EQ(admission.shed_for(ShedTier::kUnsheddable), 0u);
+  EXPECT_EQ(admission.shed_total(), 0u);
+  // Sheddable traffic at that depth is rejected with a retry hint.
+  auto decision = admission.Offer(ServiceClass::kMonitoring, 0);
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_GT(decision.retry_after, 0u);
+  EXPECT_LE(decision.retry_after, config.max_retry_after);
+}
+
+TEST(AdmissionControllerTest, ObservabilityShedsBeforeQualityOfService) {
+  AdmissionConfig config;
+  config.queue_capacity = 100;   // shed-first bound 50, shed-later bound 90
+  config.tokens_per_second = 1e9;
+  config.burst = 1e9;            // tokens never the limiting factor here
+  AdmissionController admission(config);
+  for (int i = 0; i < 60; i++) {
+    ASSERT_TRUE(admission.Offer(ServiceClass::kCompilation, 0).admitted);
+  }
+  // Depth 60: between the two bounds — monitoring turned away, compilation
+  // still admitted.
+  EXPECT_FALSE(admission.Offer(ServiceClass::kMonitoring, 0).admitted);
+  EXPECT_TRUE(admission.Offer(ServiceClass::kCompilation, 0).admitted);
+  EXPECT_EQ(admission.shed_for(ShedTier::kShedFirst), 1u);
+  EXPECT_EQ(admission.shed_for(ShedTier::kShedLater), 0u);
+}
+
+TEST(AdmissionControllerTest, TokenBucketRefillsAndHintCoversTheWait) {
+  AdmissionConfig config;
+  config.tokens_per_second = 1000.0;  // 1 token per millisecond
+  config.burst = 2.0;
+  config.queue_capacity = 1'000'000;  // depth not the limiting factor here
+  AdmissionController admission(config);
+  EXPECT_TRUE(admission.Offer(ServiceClass::kMonitoring, 0).admitted);
+  EXPECT_TRUE(admission.Offer(ServiceClass::kMonitoring, 0).admitted);
+  auto rejected = admission.Offer(ServiceClass::kMonitoring, 0);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_GE(rejected.retry_after, kMillisecond);
+  // Honoring the hint gets the next offer admitted.
+  EXPECT_TRUE(admission.Offer(ServiceClass::kMonitoring, rejected.retry_after).admitted);
+}
+
+TEST(AdmissionControllerTest, CompleteFreesQueueSlots) {
+  AdmissionConfig config;
+  config.queue_capacity = 10;  // shed-first bound 5
+  config.tokens_per_second = 1e9;
+  config.burst = 1e9;
+  AdmissionController admission(config);
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(admission.Offer(ServiceClass::kMonitoring, 0).admitted);
+  }
+  EXPECT_FALSE(admission.Offer(ServiceClass::kMonitoring, 0).admitted);
+  admission.Complete(0);
+  EXPECT_TRUE(admission.Offer(ServiceClass::kMonitoring, 0).admitted);
+  EXPECT_EQ(admission.queue_depth(), 5u);
+}
+
+TEST(AdmissionControllerTest, RetryAfterHintIsCapped) {
+  AdmissionConfig config;
+  config.queue_capacity = 4;
+  config.tokens_per_second = 0.5;  // drain estimate for a deep queue: minutes
+  config.burst = 1.0;
+  config.max_retry_after = 3 * kSecond;
+  AdmissionController admission(config);
+  for (int i = 0; i < 5000; i++) {
+    admission.Offer(ServiceClass::kVerification, 0);
+  }
+  auto decision = admission.Offer(ServiceClass::kProfiling, 0);
+  EXPECT_FALSE(decision.admitted);
+  EXPECT_EQ(decision.retry_after, 3 * kSecond);
+}
+
+// --- retry policy ----------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffDoublesToCapAndHonorsRetryAfter) {
+  EXPECT_EQ(NextBackoff(10 * kMillisecond, 400 * kMillisecond), 20 * kMillisecond);
+  EXPECT_EQ(NextBackoff(300 * kMillisecond, 400 * kMillisecond), 400 * kMillisecond);
+  EXPECT_EQ(NextBackoff(400 * kMillisecond, 400 * kMillisecond), 400 * kMillisecond);
+  // The server's drain estimate overrides a smaller exponential step, never
+  // shortens a larger one.
+  EXPECT_EQ(EffectiveBackoff(20 * kMillisecond, kSecond), kSecond);
+  EXPECT_EQ(EffectiveBackoff(400 * kMillisecond, kMillisecond), 400 * kMillisecond);
+}
+
+// --- pooled clients --------------------------------------------------------------
+
+struct PoolRun {
+  uint64_t verify_succeeded;
+  uint64_t verify_failed;
+  uint64_t monitor_succeeded;
+  uint64_t monitor_failed;
+  uint64_t shed_attempts;
+  uint64_t events;
+  SimTime end;
+};
+
+PoolRun RunSmallPool(EventQueue::Backend backend) {
+  EventQueue queue(backend);
+  std::vector<CpuServer> replicas(2);
+  AdmissionConfig admission_config;
+  admission_config.tokens_per_second = 2000.0;
+  admission_config.burst = 10.0;
+  admission_config.queue_capacity = 16;
+  std::vector<AdmissionController> admission(2, AdmissionController(admission_config));
+  ClientPoolConfig config;
+  config.service_cpu_nanos = 500'000;  // 2000/s per replica
+  StatsRegistry stats;
+  ClientPool pool(config, &queue, &replicas, &admission, &stats);
+  // 10x overload arriving in one burst: monitoring must shed, verification
+  // must ride through.
+  for (uint32_t id = 0; id < 2000; id++) {
+    pool.Start(id, id % 2 == 0 ? ServiceClass::kVerification : ServiceClass::kMonitoring,
+               1 + id % 7);
+  }
+  queue.set_max_events(2000 * 8);
+  queue.RunUntilEmpty();
+  return PoolRun{pool.succeeded(ServiceClass::kVerification),
+                 pool.failed(ServiceClass::kVerification),
+                 pool.succeeded(ServiceClass::kMonitoring),
+                 pool.failed(ServiceClass::kMonitoring),
+                 pool.shed_attempts(),
+                 queue.events_run(),
+                 queue.now()};
+}
+
+TEST(ClientPoolTest, VerificationSurvivesOverloadAndRunsAreDeterministic) {
+  PoolRun first = RunSmallPool(EventQueue::Backend::kWheel);
+  EXPECT_EQ(first.verify_succeeded, 1000u);  // 100%: fail-closed never shed
+  EXPECT_EQ(first.verify_failed, 0u);
+  EXPECT_GT(first.shed_attempts, 0u);
+  EXPECT_EQ(first.monitor_succeeded + first.monitor_failed, 1000u);
+  EXPECT_LT(first.monitor_succeeded, 1000u);  // overload actually shed traffic
+
+  PoolRun wheel_again = RunSmallPool(EventQueue::Backend::kWheel);
+  PoolRun heap = RunSmallPool(EventQueue::Backend::kHeap);
+  for (const PoolRun& other : {wheel_again, heap}) {
+    EXPECT_EQ(first.verify_succeeded, other.verify_succeeded);
+    EXPECT_EQ(first.monitor_succeeded, other.monitor_succeeded);
+    EXPECT_EQ(first.monitor_failed, other.monitor_failed);
+    EXPECT_EQ(first.shed_attempts, other.shed_attempts);
+    EXPECT_EQ(first.events, other.events);
+    EXPECT_EQ(first.end, other.end);
+  }
+}
+
+}  // namespace
+}  // namespace dvm
