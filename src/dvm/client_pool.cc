@@ -74,7 +74,8 @@ void ClientPool::OnAttempt(uint32_t id) {
         failed_[static_cast<size_t>(traffic)]++;
         return;
       }
-      SimTime wait = EffectiveBackoff(backoff_ns_[id], decision.retry_after);
+      SimTime wait =
+          EffectiveBackoff(backoff_ns_[id], decision.retry_after, config_.request_deadline);
       backoff_ns_[id] =
           static_cast<uint32_t>(NextBackoff(backoff_ns_[id], config_.backoff_cap));
       queue_->Schedule(now + wait, &OnAttemptThunk, this, id);

@@ -33,6 +33,10 @@ struct ClientPoolConfig {
   uint8_t retry_budget = 6;
   SimTime backoff_base = 10 * kMillisecond;
   SimTime backoff_cap = 400 * kMillisecond;
+  // Per-attempt deadline, mirroring RedirectConfig: caps the effective wait
+  // (exponential or retry-after hint) so a hint can never push the next
+  // attempt beyond its own deadline budget.
+  SimTime request_deadline = 250 * kMillisecond;
 
   // Per-request cost model, calibrated from one real proxy exchange of the
   // viral class: replica CPU per (cached) request and response size.

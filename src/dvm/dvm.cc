@@ -1,6 +1,7 @@
 #include "src/dvm/dvm.h"
 
 #include "src/compiler/compiler.h"
+#include "src/dvm/redirect_client.h"
 #include "src/runtime/stack_security.h"
 #include "src/runtime/syslib.h"
 #include "src/services/reflect_service.h"
@@ -89,11 +90,18 @@ std::future<Result<ProxyResponse>> DvmServer::HandleRequestAsync(
   return future;
 }
 
-void DvmServer::UpdateSecurityPolicy(SecurityPolicy policy) {
+bool DvmServer::UpdateSecurityPolicy(SecurityPolicy policy, SimTime now) {
   security_server_.UpdatePolicy(std::move(policy));
   // Rewritten classes embed enforcement calls derived from the old policy's
   // hook set; drop them so the next fetch re-instruments.
   proxy_->InvalidateCache();
+  if (cluster_ != nullptr) {
+    // Cluster-wide: replicas rewrite from the same policy server, so leaving
+    // any of them with old-policy artifacts would hand a failing-over client
+    // stale instrumentation.
+    return cluster_->CommitPolicyUpdate(now);
+  }
+  return true;
 }
 
 DvmClient::DvmClient(DvmServer* server, MachineConfig machine_config, SimLink link,

@@ -23,6 +23,8 @@
 
 namespace dvm {
 
+class ProxyCluster;
+
 // Provider chaining: first provider wins, used to layer application origin
 // servers over the system library boot image.
 class ChainedClassProvider : public ClassProvider {
@@ -76,10 +78,20 @@ class DvmServer {
   const SecurityPolicy& policy() const { return security_server_.policy(); }
   const DvmServerConfig& config() const { return config_; }
 
+  // Registers the replicated proxy cluster this server fronts (not owned,
+  // may be null to detach). Once attached, UpdateSecurityPolicy applies
+  // cluster-wide instead of touching only the server's own proxy.
+  void AttachCluster(ProxyCluster* cluster) { cluster_ = cluster; }
+  ProxyCluster* cluster() const { return cluster_; }
+
   // Single point of control: installing a new policy invalidates every
   // client's enforcement cache and the proxy's rewrite cache (including the
-  // filter-synthesized class map — both embed the old policy's hooks).
-  void UpdateSecurityPolicy(SecurityPolicy policy);
+  // filter-synthesized class map — both embed the old policy's hooks). With
+  // an attached cluster the update is cluster-wide: a 2PC epoch round when
+  // replication is enabled (false = the round aborted and the fleet fails
+  // closed until a retry commits), otherwise a synchronous invalidation of
+  // every replica. `now` is the virtual time the update is issued at.
+  bool UpdateSecurityPolicy(SecurityPolicy policy, SimTime now = 0);
 
   // Concurrent entry point: runs the request on the server's worker pool and
   // returns a future. With no pool configured the request is served inline on
@@ -103,6 +115,7 @@ class DvmServer {
   AdministrationConsole console_;
   std::unique_ptr<DvmProxy> proxy_;
   std::unique_ptr<WorkerPool> workers_;
+  ProxyCluster* cluster_ = nullptr;
 };
 
 // A client VM attached to a DvmServer through a simulated link. Fetches

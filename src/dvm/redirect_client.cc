@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/dvm/replication.h"
 #include "src/dvm/retry.h"
 #include "src/services/verify_service.h"
 #include "src/support/hash.h"
@@ -131,6 +132,7 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
                                                  SpanScope& span) {
   const RedirectConfig& rc = redirect_config_;
   FaultInjector* faults = cluster_->fault_injector();
+  ReplicationCoordinator* repl = cluster_->replication();
   std::vector<size_t> ranked = cluster_->RankReplicas(class_name);
   if (replica_avoid_until_.size() < cluster_->size()) {
     replica_avoid_until_.assign(cluster_->size(), 0);
@@ -147,8 +149,11 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
       stats_.Counter("redirect.retries").Add();
       SimTime backoff_start = machine_->virtual_nanos();
       // A shed rejection's retry-after hint overrides a shorter exponential
-      // wait: the server's drain estimate beats blind doubling.
-      machine_->AddNanos(EffectiveBackoff(backoff, retry_after));
+      // wait: the server's drain estimate beats blind doubling. The whole
+      // wait is capped at the request deadline so a hint can never make an
+      // attempt unschedulable — the avoid list (stamped when the shed
+      // happened) is what steers the retry to a different replica.
+      machine_->AddNanos(EffectiveBackoff(backoff, retry_after, rc.request_deadline));
       retry_after = 0;
       TraceEmit(tracer_, "backoff", span.id(), backoff_start, machine_->virtual_nanos(),
                 "client");
@@ -205,6 +210,24 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
       continue;
     }
 
+    // Replication fail-closed gate: a replica that cannot prove it is at the
+    // cluster's committed policy epoch (behind after an outage, in doubt
+    // after a lost 2PC decision, or mid-update fleet-wide) refuses fast —
+    // a small control answer, not a deadline timeout — and the client
+    // avoid-lists it and fails over.
+    if (repl != nullptr && !repl->CanServe(replica, now)) {
+      stale_epoch_rejections_++;
+      stats_.Counter("redirect.stale_epoch").Add();
+      machine_->AddNanos(2 * link_.latency());
+      TraceAnnotate(tracer_, attempt_span, "outcome", "stale-epoch");
+      TraceEnd(tracer_, attempt_span, machine_->virtual_nanos());
+      replica_avoid_until_[replica] = now + kReplicaAvoidTtl;
+      rank = (rank + 1) % ranked.size();
+      failovers_++;
+      stats_.Counter("redirect.failovers").Add();
+      continue;
+    }
+
     // Admission control at the replica frontend: sheddable traffic may be
     // turned away with a retry-after hint; fail-closed traffic never is.
     AdmissionController* admission = cluster_->admission(replica);
@@ -215,6 +238,11 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
         shed_attempts++;
         stats_.Counter("redirect.shedded").Add();
         retry_after = decision.retry_after;
+        // An overload rejection avoid-lists the replica for the hint horizon
+        // (its own drain estimate) — shorter than a crash timeout's
+        // kReplicaAvoidTtl — so the retry lands on a different replica's
+        // controller while this one drains. See src/dvm/retry.h.
+        replica_avoid_until_[replica] = now + decision.retry_after;
         TraceAnnotate(tracer_, attempt_span, "outcome", "shed");
         TraceAnnotate(tracer_, attempt_span, "retry_after_ns",
                       std::to_string(decision.retry_after));
@@ -253,6 +281,26 @@ Result<Bytes> RedirectingClient::FetchViaCluster(const std::string& class_name,
       continue;
     }
     ChargeDelivery(respond_at, response->data.size(), attempt_span);
+    // Epoch check on the response itself: a rewrite that raced a policy
+    // change is stamped with the epoch it actually ran under; if that is not
+    // the cluster's committed epoch, the artifact may carry retired hooks —
+    // discard it and fail over rather than run stale instrumentation.
+    if (repl != nullptr && response->epoch != repl->committed_epoch()) {
+      stale_epoch_rejections_++;
+      stats_.Counter("redirect.stale_epoch").Add();
+      TraceAnnotate(tracer_, attempt_span, "outcome", "stale-epoch-response");
+      TraceEnd(tracer_, attempt_span, machine_->virtual_nanos());
+      replica_avoid_until_[replica] = now + kReplicaAvoidTtl;
+      rank = (rank + 1) % ranked.size();
+      failovers_++;
+      stats_.Counter("redirect.failovers").Add();
+      continue;
+    }
+    // Control plane: push a freshly rewritten artifact to the peer replicas
+    // (server-side work on the mesh; the client does not wait on it).
+    if (repl != nullptr && !response->cache_hit && !response->coalesced) {
+      repl->ReplicateArtifact(replica, class_name, "", respond_at);
+    }
     redirects_++;
     stats_.Counter("redirect.redirects").Add();
     TraceAnnotate(tracer_, attempt_span, "outcome", "ok");
@@ -311,6 +359,27 @@ ProxyCluster::ProxyCluster(size_t replicas, ProxyConfig config, const ClassEnv* 
   for (size_t i = 0; i < replicas; i++) {
     proxies_.push_back(std::make_unique<DvmProxy>(config, library_env, origin));
   }
+}
+
+ProxyCluster::~ProxyCluster() = default;
+
+void ProxyCluster::EnableReplication() { EnableReplication(ReplicationConfig{}); }
+
+void ProxyCluster::EnableReplication(const ReplicationConfig& config) {
+  replication_ = std::make_unique<ReplicationCoordinator>(this, config);
+}
+
+bool ProxyCluster::CommitPolicyUpdate(SimTime now) {
+  if (replication_ != nullptr) {
+    return replication_->CommitPolicyEpoch(now).committed;
+  }
+  // Pre-2PC cluster-wide entry point: invalidate every replica synchronously
+  // so a policy update can never leave some replicas serving rewrites built
+  // under the old hook set.
+  for (auto& proxy : proxies_) {
+    proxy->InvalidateCache();
+  }
+  return true;
 }
 
 std::vector<size_t> ProxyCluster::RankReplicas(const std::string& class_name) const {

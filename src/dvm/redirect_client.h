@@ -33,6 +33,9 @@
 
 namespace dvm {
 
+class ReplicationCoordinator;
+struct ReplicationConfig;
+
 // Failover tuning for a RedirectingClient in cluster mode.
 struct RedirectConfig {
   // Total request attempts per fetch, across replicas and retries.
@@ -69,6 +72,7 @@ class ProxyCluster {
  public:
   ProxyCluster(size_t replicas, ProxyConfig config, const ClassEnv* library_env,
                ClassProvider* origin);
+  ~ProxyCluster();  // out of line: ReplicationCoordinator is forward-declared
 
   // Replica indices ordered by rendezvous weight for `class_name`, best first.
   std::vector<size_t> RankReplicas(const std::string& class_name) const;
@@ -103,6 +107,20 @@ class ProxyCluster {
     return index < admission_.size() ? admission_[index].get() : nullptr;
   }
 
+  // Installs the replicated control plane (2PC epoch/artifact push + commit
+  // logs — see src/dvm/replication.h). Call after SetFaultInjector so the
+  // control mesh sees the fault plan. Replaces any previous coordinator.
+  void EnableReplication();
+  void EnableReplication(const ReplicationConfig& config);
+  // Null until EnableReplication.
+  ReplicationCoordinator* replication() { return replication_.get(); }
+
+  // Cluster-wide policy-change entry point: with replication enabled, runs a
+  // 2PC epoch round and reports whether it committed (an abort leaves the
+  // fleet failing closed until a retry); without it, synchronously
+  // invalidates every replica so none keeps serving old-policy rewrites.
+  bool CommitPolicyUpdate(SimTime now);
+
   size_t size() const { return proxies_.size(); }
   DvmProxy& replica(size_t index) { return *proxies_[index]; }
   uint64_t total_cpu_nanos() const;
@@ -112,6 +130,7 @@ class ProxyCluster {
   std::vector<std::unique_ptr<AdmissionController>> admission_;
   std::vector<bool> manual_down_;
   FaultInjector* faults_ = nullptr;
+  std::unique_ptr<ReplicationCoordinator> replication_;
 };
 
 class RedirectingClient : public ClassProvider {
@@ -145,6 +164,10 @@ class RedirectingClient : public ClassProvider {
   // budget with every attempt shed (typed ErrorCode::kOverloaded).
   uint64_t admission_sheds() const { return admission_sheds_; }
   uint64_t overloaded_rejections() const { return overloaded_rejections_; }
+  // Attempts refused because the replica could not prove it was at the
+  // cluster's committed policy epoch (replication's fail-closed gate), plus
+  // responses discarded for carrying a non-committed epoch stamp.
+  uint64_t stale_epoch_rejections() const { return stale_epoch_rejections_; }
 
   // Named counters mirroring the accessors above: redirect.{direct_hits,
   // direct_misses,redirects,rejected_signatures,timeouts,retries,failovers,
@@ -193,6 +216,7 @@ class RedirectingClient : public ClassProvider {
   uint64_t fail_open_serves_ = 0;
   uint64_t admission_sheds_ = 0;
   uint64_t overloaded_rejections_ = 0;
+  uint64_t stale_epoch_rejections_ = 0;
   StatsRegistry stats_;
   Histogram& h_fetch_nanos_;
   Tracer* tracer_ = nullptr;

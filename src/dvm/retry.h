@@ -13,6 +13,18 @@
 namespace dvm {
 
 // How long a request timeout keeps a replica out of a client's rotation.
+//
+// Avoid-list policy (one documented behavior for every rejection kind):
+//   * Timeout / dead replica — avoid for kReplicaAvoidTtl. The client has no
+//     information beyond "it didn't answer"; a long quarantine is the only
+//     safe read.
+//   * kOverloaded shed — avoid until now + the rejection's retry-after hint.
+//     The server published its own drain estimate, so the quarantine is
+//     exactly the overload horizon: the retry lands on a different replica's
+//     controller while this one drains, and the replica re-enters rotation
+//     the moment its hint expires.
+//   * Stale epoch (replication fail-closed) — avoid for kReplicaAvoidTtl;
+//     the replica stays refused until an operator-driven Rejoin anyway.
 inline constexpr SimTime kReplicaAvoidTtl = 2 * kSecond;
 
 // Capped exponential backoff progression.
@@ -22,9 +34,13 @@ inline SimTime NextBackoff(SimTime current, SimTime cap) {
 
 // Backoff actually waited for this attempt: the exponential schedule, raised
 // to the server's retry-after hint when the rejection carried one (admission
-// control's drain estimate beats blind exponential growth).
-inline SimTime EffectiveBackoff(SimTime backoff, SimTime retry_after) {
-  return std::max(backoff, retry_after);
+// control's drain estimate beats blind exponential growth), then capped at
+// the per-attempt request deadline — a hint, however large, may steer the
+// client away from a replica (via the avoid list) but must never make the
+// next attempt unschedulable within its own deadline budget.
+inline SimTime EffectiveBackoff(SimTime backoff, SimTime retry_after,
+                                SimTime deadline_cap = kSimTimeForever) {
+  return std::min(std::max(backoff, retry_after), deadline_cap);
 }
 
 }  // namespace dvm

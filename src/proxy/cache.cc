@@ -43,6 +43,16 @@ std::optional<CachedClass> RewriteCache::Get(const std::string& key) {
   return it->second.value;
 }
 
+std::optional<CachedClass> RewriteCache::Peek(const std::string& key) const {
+  const Shard& shard = *shards_[Fnv1a(key) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    return std::nullopt;
+  }
+  return it->second.value;
+}
+
 void RewriteCache::Put(const std::string& key, CachedClass value) {
   size_t bytes = SizeOf(value);
   if (bytes > shard_capacity_bytes_) {

@@ -30,6 +30,9 @@ namespace dvm {
 struct CachedClass {
   Bytes main_class;
   std::vector<std::pair<std::string, Bytes>> extra_classes;
+  // Security-policy epoch the rewrite ran under. Responses carry it so a
+  // client (and the replication layer) can prove an artifact is current.
+  uint64_t epoch = 0;
 };
 
 class RewriteCache {
@@ -43,6 +46,10 @@ class RewriteCache {
   // nullopt on miss. A hit refreshes LRU position and copies the entry out so
   // the caller holds no pointer into a shard.
   std::optional<CachedClass> Get(const std::string& key);
+  // Copy-out read that refreshes nothing: no LRU move, no hit/miss counters.
+  // Replication equality checks use this so verifying convergence does not
+  // perturb eviction order or cache statistics.
+  std::optional<CachedClass> Peek(const std::string& key) const;
   void Put(const std::string& key, CachedClass value);
   void Clear();
 

@@ -1,0 +1,43 @@
+#include "src/proxy/commit_log.h"
+
+#include "src/support/hash.h"
+
+namespace dvm {
+
+uint64_t CommitRecordBytes(const CommitRecord& record) {
+  // sequence + type + epoch headers, then keys and payload.
+  uint64_t bytes = 8 + 1 + 8;
+  bytes += record.cache_key.size() + record.class_name.size();
+  bytes += record.main_class.size();
+  for (const auto& [name, data] : record.extra_classes) {
+    bytes += name.size() + data.size();
+  }
+  return bytes;
+}
+
+uint64_t CommitLog::Append(CommitRecord record) {
+  record.sequence = ++last_sequence_;
+  bytes_ += CommitRecordBytes(record);
+  records_.push_back(std::move(record));
+  return last_sequence_;
+}
+
+uint64_t CommitLog::Digest() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto fold = [&h](uint64_t value) { h = (h ^ value) * 0x100000001b3ULL; };
+  for (const CommitRecord& record : records_) {
+    fold(record.sequence);
+    fold(static_cast<uint64_t>(record.type));
+    fold(record.epoch);
+    fold(Fnv1a(record.cache_key));
+    fold(Fnv1a(record.class_name));
+    fold(Fnv1a(record.main_class.data(), record.main_class.size()));
+    for (const auto& [name, data] : record.extra_classes) {
+      fold(Fnv1a(name));
+      fold(Fnv1a(data.data(), data.size()));
+    }
+  }
+  return h;
+}
+
+}  // namespace dvm

@@ -83,6 +83,7 @@ DvmProxy::DvmProxy(ProxyConfig config, const ClassEnv* library_env, ClassProvide
       c_rewrites_(stats_.Counter("proxy.rewrites")),
       c_generated_hits_(stats_.Counter("proxy.generated_hits")),
       c_lock_acquisitions_(stats_.Counter("proxy.lock_acquisitions")),
+      c_stale_rewrite_skips_(stats_.Counter("proxy.stale_rewrite_skips")),
       h_request_cpu_nanos_(stats_.Histo("proxy.request_cpu_nanos")) {
   env_.SetLockCounter(&c_lock_acquisitions_);
 }
@@ -98,7 +99,7 @@ Result<ProxyResponse> DvmProxy::HandleRequest(const std::string& class_name,
   RequestContext ctx;
   ctx.class_name = class_name;
   ctx.platform = platform;
-  ctx.cache_key = class_name + "\x1f" + platform;
+  ctx.cache_key = RewriteCacheKey(class_name, platform);
   ctx.trace = trace;
 
   if (config_.enable_cache) {
@@ -141,6 +142,7 @@ std::optional<ProxyResponse> DvmProxy::TryServeFromCache(RequestContext& ctx) {
   ProxyResponse response;
   response.data = std::move(cached->main_class);
   response.extra_classes = std::move(cached->extra_classes);
+  response.epoch = cached->epoch;
   response.cache_hit = true;
   ctx.cache_hit = true;
   // Serving from the cache is cheap relative to rewriting.
@@ -161,6 +163,9 @@ std::optional<ProxyResponse> DvmProxy::TryServeGenerated(RequestContext& ctx) {
   }
   ProxyResponse response;
   response.data = it->second;
+  // generated_ is cleared on every invalidation and stale in-flight rewrites
+  // refuse to repopulate it, so a surviving entry is current-epoch.
+  response.epoch = policy_epoch();
   ctx.connection_nanos =
       config_.nanos_per_hit_base + response.data.size() * config_.nanos_per_byte_cached;
   ctx.audit_events.push_back("GEN " + ctx.class_name);
@@ -175,7 +180,18 @@ Result<ProxyResponse> DvmProxy::Rewrite(RequestContext& ctx) {
   c_lock_acquisitions_.Add();
   std::lock_guard<std::mutex> lock(rewrite_mu_);
 
+  // Sample the cache generation and policy epoch before doing any work. If
+  // InvalidateCache (a policy change) lands while this rewrite is in flight,
+  // the generation moves and the publish step below is skipped: without the
+  // check, a coalesced rewrite that started before the invalidation could
+  // finish after it and repopulate the cache — and generated_ — with an
+  // artifact instrumented under the *old* policy. The response is stamped
+  // with the sampled epoch so a racing epoch bump can't make it look current.
+  const uint64_t generation = cache_generation_.load(std::memory_order_acquire);
+  const uint64_t epoch = policy_epoch();
+
   ProxyResponse response;
+  response.epoch = epoch;
   DVM_ASSIGN_OR_RETURN(Bytes origin_bytes, origin_->FetchClass(ctx.class_name));
   response.origin_bytes = origin_bytes.size();
   ctx.connection_nanos = config_.nanos_per_request_base;
@@ -204,6 +220,21 @@ Result<ProxyResponse> DvmProxy::Rewrite(RequestContext& ctx) {
   }
   ctx.emit_nanos = result.class_bytes.size() * config_.nanos_per_byte_emit;
 
+  response.data = result.class_bytes;
+  response.extra_classes = result.extra_classes;
+  ctx.audit_events.push_back((result.modified ? "REWRITE " : "PASS ") + ctx.class_name);
+  c_rewrites_.Add();
+
+  // Publish gate: an invalidation that arrived mid-rewrite moved the
+  // generation, so this artifact reflects a retired configuration. Serve it
+  // to the requester (stamped with its true, stale epoch — cluster-mode
+  // clients discard and retry) but keep it out of every shared structure.
+  if (cache_generation_.load(std::memory_order_acquire) != generation) {
+    c_stale_rewrite_skips_.Add();
+    ctx.audit_events.push_back("STALE-SKIP " + ctx.class_name);
+    return response;
+  }
+
   if (!result.extra_classes.empty()) {
     c_lock_acquisitions_.Add();
     std::lock_guard<std::mutex> generated_lock(generated_mu_);
@@ -211,15 +242,11 @@ Result<ProxyResponse> DvmProxy::Rewrite(RequestContext& ctx) {
       generated_[name] = data;
     }
   }
-  response.data = result.class_bytes;
-  response.extra_classes = result.extra_classes;
-  ctx.audit_events.push_back((result.modified ? "REWRITE " : "PASS ") + ctx.class_name);
-  c_rewrites_.Add();
-
   if (config_.enable_cache) {
     CachedClass entry;
     entry.main_class = response.data;
     entry.extra_classes = response.extra_classes;
+    entry.epoch = epoch;
     cache_.Put(ctx.cache_key, std::move(entry));
   }
   if (served_observer_) {
@@ -272,12 +299,48 @@ ProxyResponse DvmProxy::Commit(RequestContext& ctx, ProxyResponse response) {
 }
 
 void DvmProxy::InvalidateCache() {
+  // Advance the generation FIRST: an in-flight rewrite that sampled the old
+  // value must observe the change at its publish gate no matter how the
+  // clear below interleaves with its install.
+  cache_generation_.fetch_add(1, std::memory_order_acq_rel);
   cache_.Clear();
   // Synthesized classes were rewritten under the old service configuration
   // too; dropping only the LRU cache used to leave them stale.
   c_lock_acquisitions_.Add();
   std::lock_guard<std::mutex> lock(generated_mu_);
   generated_.clear();
+}
+
+void DvmProxy::ApplyPolicyEpoch(uint64_t epoch) {
+  InvalidateCache();
+  policy_epoch_.store(epoch, std::memory_order_release);
+}
+
+void DvmProxy::ApplyCommitRecord(const CommitRecord& record) {
+  if (record.type == CommitRecordType::kEpoch) {
+    ApplyPolicyEpoch(record.epoch);
+    return;
+  }
+  // Artifact install: the pushed bytes already went through a peer's pipeline
+  // (and signer), so they land directly in the shared structures. Replay
+  // applies records in log order, so an artifact is always installed after
+  // the epoch record it was rewritten under.
+  if (!record.extra_classes.empty()) {
+    c_lock_acquisitions_.Add();
+    std::lock_guard<std::mutex> lock(generated_mu_);
+    for (const auto& [name, data] : record.extra_classes) {
+      generated_[name] = data;
+    }
+  }
+  if (config_.enable_cache) {
+    CachedClass entry;
+    entry.main_class = record.main_class;
+    entry.extra_classes = record.extra_classes;
+    entry.epoch = record.epoch;
+    cache_.Put(record.cache_key, std::move(entry));
+  }
+  replicated_installs_.fetch_add(1, std::memory_order_relaxed);
+  audit_.Push("REPL-INSTALL " + record.class_name);
 }
 
 size_t DvmProxy::MemoryInUse(size_t inflight_requests) const {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/proxy/cache.h"
+#include "src/proxy/commit_log.h"
 #include "src/proxy/signature.h"
 #include "src/rewrite/filter.h"
 #include "src/runtime/class_registry.h"
@@ -74,6 +75,10 @@ struct ProxyResponse {
   bool coalesced = false;
   uint64_t cpu_nanos = 0;      // proxy CPU consumed by this request
   uint64_t origin_bytes = 0;   // bytes fetched from the origin server
+  // Security-policy epoch the served artifact was rewritten under. Stamped
+  // from the *sampled* epoch at rewrite start (not the current one), so a
+  // policy change racing a rewrite can never forge epoch currency.
+  uint64_t epoch = 0;
 };
 
 // Per-request state, threaded explicitly through the request path instead of
@@ -169,7 +174,38 @@ class DvmProxy {
   // class map — used when the service configuration (e.g. the security
   // policy) changes and classes must be re-instrumented. Synthesized classes
   // embed the old policy's hooks too, so serving them stale was a bug.
+  // Bumps the cache generation *before* clearing, so an in-flight rewrite
+  // that started under the old configuration refuses to publish afterward
+  // (the invalidate / single-flight race — see Rewrite()).
   void InvalidateCache();
+
+  // The canonical rewrite-cache key for (class, platform); the replication
+  // layer uses it to address pushed artifacts.
+  static std::string RewriteCacheKey(const std::string& class_name, const std::string& platform) {
+    return class_name + "\x1f" + platform;
+  }
+
+  // Security-policy epoch this replica last applied. 0 until the cluster
+  // commits its first epoch.
+  uint64_t policy_epoch() const { return policy_epoch_.load(std::memory_order_relaxed); }
+
+  // Applies a committed policy epoch: invalidates all rewritten state (the
+  // new policy's hooks differ), then advances the epoch stamp. Used both on
+  // the live 2PC commit path and during log replay.
+  void ApplyPolicyEpoch(uint64_t epoch);
+
+  // Replays one commit-log record into this replica: kEpoch records apply the
+  // epoch (invalidate + advance), kArtifact records install the pushed bytes
+  // into the rewrite cache and the synthesized-class map without running the
+  // pipeline. In-order replay of a peer's log converges the replica to
+  // byte-identical state.
+  void ApplyCommitRecord(const CommitRecord& record);
+
+  // Artifacts installed via ApplyCommitRecord (pushed or replayed), as
+  // opposed to locally rewritten.
+  uint64_t replicated_installs() const {
+    return replicated_installs_.load(std::memory_order_relaxed);
+  }
 
   std::vector<std::string> audit_trail() const { return audit_.Snapshot(); }
   const AuditRing& audit_ring() const { return audit_; }
@@ -242,6 +278,13 @@ class DvmProxy {
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> total_cpu_nanos_{0};
 
+  // Replication / staleness state. cache_generation_ advances on every
+  // invalidation; a rewrite samples it at entry and publishes only if it is
+  // unchanged at install time.
+  std::atomic<uint64_t> policy_epoch_{0};
+  std::atomic<uint64_t> cache_generation_{0};
+  std::atomic<uint64_t> replicated_installs_{0};
+
   StatsRegistry stats_;
   StatCounter& c_connection_nanos_;
   StatCounter& c_parse_nanos_;
@@ -252,6 +295,7 @@ class DvmProxy {
   StatCounter& c_rewrites_;
   StatCounter& c_generated_hits_;
   StatCounter& c_lock_acquisitions_;
+  StatCounter& c_stale_rewrite_skips_;
   Histogram& h_request_cpu_nanos_;
 };
 

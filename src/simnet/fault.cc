@@ -51,6 +51,15 @@ SimTime FaultInjector::ExtraDelay(const std::string& link, SimTime now) {
   return delay;
 }
 
+bool FaultInjector::LinkUp(const std::string& link, SimTime now) const {
+  for (const OutageWindow& window : FaultsFor(link).outages) {
+    if (now >= window.down_at && now < window.up_at) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool FaultInjector::ReplicaUp(size_t replica, SimTime now) const {
   auto it = plan_.replica_outages.find(replica);
   if (it == plan_.replica_outages.end()) {

@@ -25,6 +25,12 @@ namespace dvm {
 
 // kSimTimeForever lives in sim.h now (the saturating-cast helpers need it).
 
+// Half-open outage: the replica (or link) is down during [down_at, up_at).
+struct OutageWindow {
+  SimTime down_at = 0;
+  SimTime up_at = kSimTimeForever;
+};
+
 // Fault parameters for one link (or the default for unnamed links).
 struct LinkFaults {
   // Probability in [0, 1] that a message offered on the link is lost.
@@ -32,12 +38,11 @@ struct LinkFaults {
   // Extra one-way delay drawn uniformly from [min, max] per message.
   SimTime extra_delay_min = 0;
   SimTime extra_delay_max = 0;
-};
-
-// Half-open outage: the replica is down during [down_at, up_at).
-struct OutageWindow {
-  SimTime down_at = 0;
-  SimTime up_at = kSimTimeForever;
+  // Scheduled partitions: every message offered while a window is open is
+  // lost. Deterministic (no stream draw), so partition schedules never shift
+  // the probabilistic drop/delay sequences — the replication tests rely on
+  // cutting one control link without perturbing the others' traces.
+  std::vector<OutageWindow> outages;
 };
 
 struct FaultPlan {
@@ -64,6 +69,10 @@ class FaultInjector {
   // Whether `replica` is up at `now` per the outage schedule. Pure (no stream
   // consumption): health checks must not perturb the drop/delay trace.
   bool ReplicaUp(size_t replica, SimTime now) const;
+
+  // Whether `link` is outside all of its scheduled partition windows at
+  // `now`. Pure like ReplicaUp: partition checks consume no stream draws.
+  bool LinkUp(const std::string& link, SimTime now) const;
 
   uint64_t dropped() const { return dropped_; }
   uint64_t decisions() const { return decisions_; }

@@ -1,0 +1,44 @@
+#include "src/simnet/multicast.h"
+
+namespace dvm {
+
+ControlPlane::ControlPlane(size_t replicas, ControlPlaneConfig config)
+    : replicas_(replicas), config_(config) {
+  links_.reserve(replicas * replicas);
+  link_names_.reserve(replicas * replicas);
+  for (size_t from = 0; from < replicas; ++from) {
+    for (size_t to = 0; to < replicas; ++to) {
+      links_.emplace_back(config_.bytes_per_second, config_.latency);
+      link_names_.push_back(LinkName(from, to));
+    }
+  }
+}
+
+std::string ControlPlane::LinkName(size_t from, size_t to) {
+  return "ctrl-" + std::to_string(from) + "-" + std::to_string(to);
+}
+
+ControlDelivery ControlPlane::Send(size_t from, size_t to, uint64_t bytes, SimTime now) {
+  messages_++;
+  const std::string& name = link_names_[from * replicas_ + to];
+  if (faults_ != nullptr) {
+    // Partition check is pure: a cut link must not consume stream draws, or
+    // partition schedules would shift every later drop/delay decision.
+    if (!faults_->LinkUp(name, now)) {
+      dropped_++;
+      return {};
+    }
+    if (faults_->ShouldDrop(name, now)) {
+      dropped_++;
+      return {};
+    }
+  }
+  SimTime at = Link(from, to).Deliver(now, bytes);
+  if (faults_ != nullptr) {
+    at += faults_->ExtraDelay(name, now);
+  }
+  bytes_carried_ += bytes;
+  return {true, at};
+}
+
+}  // namespace dvm

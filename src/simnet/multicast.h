@@ -1,0 +1,84 @@
+// Control-plane mesh for proxy replication. The paper answers the "proxy is a
+// single point of failure" concern with a replicated service (§2); PR 2 gave
+// the replicas failover routing, and this layer gives them a way to *talk to
+// each other*: a full N×N mesh of point-to-point SimLinks over which one
+// replica multicasts prepare / vote / commit messages to its peers.
+//
+// Fault integration is deliberately layered:
+//   1. LinkUp (pure, no stream draw) — scheduled partitions cut a link for a
+//      window of virtual time without shifting any RNG stream, so a test can
+//      partition exactly one control link and every other link's drop/delay
+//      trace stays byte-identical.
+//   2. ShouldDrop / ExtraDelay (seeded per-link streams) — probabilistic loss
+//      and jitter, recorded in the injector's trace fingerprint.
+// Messages on a link serialize FIFO through the underlying SimLink, so a
+// prepare burst to a slow peer queues exactly like data traffic would.
+#ifndef SRC_SIMNET_MULTICAST_H_
+#define SRC_SIMNET_MULTICAST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/simnet/fault.h"
+#include "src/simnet/sim.h"
+
+namespace dvm {
+
+struct ControlPlaneConfig {
+  // Replica-to-replica links: same class as the paper's 100 Mb/s uplinks, with
+  // a LAN-scale 200 µs one-way latency.
+  double bytes_per_second = 100e6 / 8.0;
+  SimTime latency = 200'000;
+  // How long a 2PC coordinator waits for votes before declaring a live peer
+  // unresponsive and aborting the round.
+  SimTime vote_timeout = 50 * kMillisecond;
+};
+
+// Outcome of offering one message to the mesh.
+struct ControlDelivery {
+  bool delivered = false;
+  // Receiver-side completion time when delivered; meaningless otherwise.
+  SimTime at = 0;
+};
+
+class ControlPlane {
+ public:
+  explicit ControlPlane(size_t replicas, ControlPlaneConfig config = {});
+
+  // Canonical name of the directed link from→to ("ctrl-0-2"). FaultPlans
+  // address control links by this name (drop probability, delay, partitions).
+  static std::string LinkName(size_t from, size_t to);
+
+  // Optional; without an injector every send is delivered (no partitions, no
+  // loss). Not owned.
+  void SetFaultInjector(FaultInjector* faults) { faults_ = faults; }
+
+  // Offers `bytes` on the from→to link at `now`. Partition windows are
+  // checked first (pure) so a partitioned link consumes no stream draws; a
+  // live link then draws its drop decision and, when delivered, its extra
+  // delay, and the message serializes through the link FIFO.
+  ControlDelivery Send(size_t from, size_t to, uint64_t bytes, SimTime now);
+
+  size_t replicas() const { return replicas_; }
+  const ControlPlaneConfig& config() const { return config_; }
+  uint64_t messages() const { return messages_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t bytes_carried() const { return bytes_carried_; }
+
+ private:
+  SimLink& Link(size_t from, size_t to) { return links_[from * replicas_ + to]; }
+
+  size_t replicas_;
+  ControlPlaneConfig config_;
+  FaultInjector* faults_ = nullptr;
+  std::vector<SimLink> links_;  // row-major [from][to]
+  std::vector<std::string> link_names_;
+  uint64_t messages_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t bytes_carried_ = 0;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_SIMNET_MULTICAST_H_

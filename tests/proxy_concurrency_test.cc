@@ -241,6 +241,50 @@ TEST_F(ProxyConcurrencyTest, InvalidateCacheDropsGeneratedClasses) {
   EXPECT_TRUE(proxy.HandleRequest(ClassName(0) + "$cold").ok());
 }
 
+TEST_F(ProxyConcurrencyTest, InvalidateDuringInFlightRewriteRefusesToPublish) {
+  DvmProxy proxy(ProxyConfig{}, &library_env_, &origin_);
+  Gate gate;
+  auto counting = std::make_unique<CountingFilter>(&gate);
+  CountingFilter* counter = counting.get();
+  proxy.AddFilter(std::move(counting));
+  proxy.AddFilter(std::make_unique<SplitterFilter>(ClassName(0)));
+
+  // Leader samples the cache generation, then parks inside the pipeline.
+  std::thread leader([&] {
+    auto response = proxy.HandleRequest(ClassName(0));
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response->data.empty());
+  });
+  while (gate.entered.load() == 0) {
+    std::this_thread::yield();
+  }
+
+  // A policy change lands while the rewrite is in flight.
+  proxy.InvalidateCache();
+  gate.Open();
+  leader.join();
+
+  // Regression: the finished rewrite used to repopulate the cache — and the
+  // synthesized-class map — with artifacts instrumented under the *old*
+  // configuration. The publish gate now sees the moved generation and keeps
+  // them out of every shared structure; the requester still gets its bytes,
+  // stamped with their true (stale) epoch.
+  EXPECT_EQ(proxy.stats().Value("proxy.stale_rewrite_skips"), 1u);
+  EXPECT_EQ(proxy.cache().entries(), 0u);
+  auto stale_cold = proxy.HandleRequest(ClassName(0) + "$cold");
+  ASSERT_FALSE(stale_cold.ok());
+  EXPECT_EQ(stale_cold.error().code, ErrorCode::kNotFound);
+
+  // The next request re-runs the pipeline under the new configuration and
+  // publishes normally.
+  auto fresh = proxy.HandleRequest(ClassName(0));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->cache_hit);
+  EXPECT_EQ(counter->runs(), 2);
+  EXPECT_EQ(proxy.cache().entries(), 1u);
+  EXPECT_TRUE(proxy.HandleRequest(ClassName(0) + "$cold").ok());
+}
+
 TEST_F(ProxyConcurrencyTest, AuditRingIsBoundedAndCountsDrops) {
   ProxyConfig config;
   config.audit_trail_capacity = 8;

@@ -392,9 +392,19 @@ TEST_F(FailoverTest, OverloadedClusterShedsObservabilityWithTypedRejection) {
   EXPECT_EQ(client.overloaded_rejections(), 1u);
   EXPECT_EQ(client.stats().Value("redirect.shedded"), config.retry_budget);
   EXPECT_EQ(client.stats().Value("redirect.overloaded"), 1u);
-  // The retry-after hint (2 s, far above the 400 ms backoff cap) was honored
-  // on each of the budget's five waits.
-  EXPECT_GE(client.machine().virtual_nanos() - before, 5 * 2 * kSecond);
+  // The retry-after hint (2 s, far above the 400 ms backoff cap) raised each
+  // of the budget's five waits — but every wait is capped at the 250 ms
+  // request deadline, so the hint steers (via the avoid list) without ever
+  // making an attempt unschedulable.
+  EXPECT_GE(client.machine().virtual_nanos() - before, 5 * config.request_deadline);
+  EXPECT_LT(client.machine().virtual_nanos() - before, 5 * 2 * kSecond);
+  // A shed avoid-lists the replica for the hint horizon, so the retries
+  // spread across the fleet's controllers instead of hammering one.
+  size_t controllers_hit = 0;
+  for (size_t i = 0; i < cluster_->size(); i++) {
+    controllers_hit += cluster_->admission(i)->shed_for(ShedTier::kShedFirst) > 0 ? 1 : 0;
+  }
+  EXPECT_GE(controllers_hit, 2u);
   EXPECT_EQ(client.fail_closed_rejections(), 0u);
 }
 
