@@ -18,6 +18,7 @@
 #include "bench/bench_util.h"
 #include "src/dvm/redirect_client.h"
 #include "src/runtime/syslib.h"
+#include "src/services/slo_monitor.h"
 #include "src/services/verify_service.h"
 #include "src/simnet/fault.h"
 #include "src/support/stats.h"
@@ -50,7 +51,21 @@ struct RunResult {
   uint64_t dropped = 0;
   uint64_t trace_fingerprint = 0;
   uint64_t final_nanos = 0;
+  // Burn-rate SLO monitor output: every ALERT/CLEAR with its virtual
+  // timestamp. Byte-compared across same-seed runs.
+  std::string slo_log;
+  size_t slo_alerts = 0;
 };
+
+// SLO monitor settings: evaluate a burn-rate window every 16 fetches. The
+// healthy fetch path costs ~1.4s p99 (verification pipeline + 10 Mb/s access
+// link), and the log-bucketed histogram quantizes that window's p99 up to at
+// most ~2.1s — so the ceiling sits at 3s: no healthy window can page, only a
+// multi-second degradation can. The success rule pages when a window's
+// success ratio drops below 99% (ppm scale).
+constexpr size_t kSloWindow = 16;
+constexpr uint64_t kP99CeilingNanos = 3 * kSecond;
+constexpr uint64_t kMinSuccessPpm = 990'000;
 
 // Fetches every class once through a fresh cluster + client under `plan`.
 RunResult RunSweep(Scenario& s, const FaultPlan& plan) {
@@ -67,15 +82,34 @@ RunResult RunSweep(Scenario& s, const FaultPlan& plan) {
   RunResult result;
   StatsRegistry stats;
   Histogram& latency = stats.Histo("bench.fetch_nanos");
+  StatCounter& fetch_ok = stats.Counter("bench.fetch_ok");
+  StatCounter& fetch_total = stats.Counter("bench.fetch_total");
+  AdministrationConsole console;
+  SloMonitor slo("client", &console);
+  slo.AddRule(P99CeilingRule("fetch-p99", "bench.fetch_nanos", kP99CeilingNanos,
+                             /*min_events=*/kSloWindow / 2));
+  slo.AddRule(MinSuccessRule("fetch-success", "bench.fetch_ok", "bench.fetch_total",
+                             kMinSuccessPpm, /*min_events=*/kSloWindow / 2));
+  slo.Evaluate(stats.FullSnapshot(), client.machine().virtual_nanos());
   for (const auto& name : s.classes) {
     uint64_t before = client.machine().virtual_nanos();
     auto bytes = client.FetchClass(name);
     uint64_t after = client.machine().virtual_nanos();
     result.attempts++;
+    fetch_total.Add();
     if (bytes.ok()) {
       result.successes++;
       latency.Record(after - before);
+      fetch_ok.Add();
     }
+    if (result.attempts % kSloWindow == 0) {
+      slo.Evaluate(stats.FullSnapshot(), after);
+    }
+  }
+  slo.Evaluate(stats.FullSnapshot(), client.machine().virtual_nanos());
+  result.slo_log = slo.TransitionLog();
+  for (const auto& event : console.log()) {
+    result.slo_alerts += event.kind == "slo-alert" ? 1 : 0;
   }
   result.latency = latency.TakeSnapshot();
   result.timeouts = client.timeouts();
@@ -190,10 +224,24 @@ int main() {
               closed_ok ? "PASS" : "FAIL");
   ok &= closed_ok;
 
+  bool slo_quiet = baseline.slo_alerts == 0;
+  std::printf("  baseline trips no SLO alerts: %s\n", slo_quiet ? "PASS" : "FAIL");
+  ok &= slo_quiet;
+
+  bool slo_burn = dark.slo_alerts > 0 &&
+                  dark.slo_log.find("ALERT fetch-success") != std::string::npos;
+  std::printf("  all-down trips the fetch-success burn-rate alert: %s\n",
+              slo_burn ? "PASS" : "FAIL");
+  ok &= slo_burn;
+  if (!dark.slo_log.empty()) {
+    std::printf("  all-down SLO transitions (virtual nanos):\n%s", dark.slo_log.c_str());
+  }
+
   RunResult killed_again = RunSweep(scenario, kill_one);
   bool deterministic = killed_again.trace_fingerprint == killed.trace_fingerprint &&
-                       killed_again.final_nanos == killed.final_nanos;
-  std::printf("  identical seed reproduces identical trace and clock: %s\n",
+                       killed_again.final_nanos == killed.final_nanos &&
+                       killed_again.slo_log == killed.slo_log;
+  std::printf("  identical seed reproduces identical trace, clock, and SLO log: %s\n",
               deterministic ? "PASS" : "FAIL");
   ok &= deterministic;
 

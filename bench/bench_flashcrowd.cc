@@ -31,6 +31,7 @@
 #include "src/services/verify_service.h"
 #include "src/simnet/sim.h"
 #include "src/support/hash.h"
+#include "src/support/trace.h"
 #include "src/workloads/applets.h"
 #include "src/workloads/arrivals.h"
 
@@ -88,7 +89,18 @@ struct PolicyResult {
   uint64_t verify_failed = 0;
   uint64_t unsheddable_sheds = 0;
   uint64_t events_run = 0;
+  uint64_t spans_sampled = 0;
+  size_t spans_retained = 0;
+  uint64_t spans_dropped = 0;
 };
+
+// Scale-safe tracing: one client in kTraceSampleRate is traced (head-based,
+// decided by a stateless hash of the client id, so sampling perturbs no RNG
+// stream), and retained spans live in a bounded ring. Memory for tracing is
+// O(ring), not O(clients) — that is what keeps 10^6 clients under the CI RSS
+// ceiling with tracing on.
+constexpr uint64_t kTraceSampleRate = 512;
+constexpr size_t kSpanRingCapacity = 1024;
 
 std::string Row(const std::string& policy, const char* service, uint64_t started,
                 uint64_t succeeded, uint64_t failed, const Histogram::Snapshot& lat) {
@@ -124,6 +136,8 @@ PolicyResult RunPolicy(const Options& opt, const Calibration& cal,
   StatsRegistry stats;
   ClientPool pool(pool_config, &queue, &replicas, policy == "no-shed" ? nullptr : &admission,
                   &stats);
+  BoundedSpanRing span_ring(kSpanRingCapacity);
+  pool.EnableTracing(&span_ring, TraceSampler(opt.seed, kTraceSampleRate));
 
   // Same seed per policy: identical per-client traffic classes and arrival
   // times, so policy is the only variable.
@@ -164,6 +178,15 @@ PolicyResult RunPolicy(const Options& opt, const Calibration& cal,
   std::snprintf(extra, sizeof(extra),
                 "%-11s sheds=%" PRIu64 " events=%" PRIu64 " end=%ss\n", policy.c_str(),
                 shed_total, queue.events_run(), FmtSeconds(queue.now()).c_str());
+  result.table += extra;
+  result.spans_sampled = pool.spans_sampled();
+  result.spans_retained = span_ring.size();
+  result.spans_dropped = span_ring.dropped();
+  std::snprintf(extra, sizeof(extra),
+                "%-11s trace: 1/%" PRIu64 " sampled=%" PRIu64 " retained=%zu dropped=%"
+                PRIu64 "\n",
+                policy.c_str(), kTraceSampleRate, result.spans_sampled,
+                result.spans_retained, result.spans_dropped);
   result.table += extra;
   result.fingerprint = Fnv1a(result.table);
   result.verify_latency = pool.Latency(ServiceClass::kVerification);
@@ -263,6 +286,13 @@ int main(int argc, char** argv) {
   std::printf("  identical seed reproduces byte-identical stats: %s\n",
               deterministic ? "PASS" : "FAIL");
   ok &= deterministic;
+
+  bool trace_ok = shed.spans_sampled > 0 && shed.spans_retained <= kSpanRingCapacity &&
+                  shed.spans_sampled == shed.spans_retained + shed.spans_dropped;
+  std::printf("  sampled tracing stays bounded (ring %zu/%zu, %" PRIu64 " dropped): %s\n",
+              shed.spans_retained, kSpanRingCapacity, shed.spans_dropped,
+              trace_ok ? "PASS" : "FAIL");
+  ok &= trace_ok;
 
   if (opt.max_rss_mb != 0) {
     uint64_t rss = PeakRssMb();

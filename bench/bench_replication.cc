@@ -35,8 +35,11 @@
 #include "src/dvm/redirect_client.h"
 #include "src/dvm/replication.h"
 #include "src/runtime/syslib.h"
+#include "src/services/fleet_metrics.h"
+#include "src/services/slo_monitor.h"
 #include "src/services/verify_service.h"
 #include "src/simnet/fault.h"
+#include "src/support/trace.h"
 #include "src/workloads/applets.h"
 
 using namespace dvm;
@@ -90,6 +93,16 @@ struct RunOutcome {
   bool logs_equal = true;
   uint64_t control_fingerprint = 0;
   uint64_t trace_fingerprint = 0;
+  // Fleet observability (replicated mode only): the console's merged
+  // Prometheus export must equal a by-hand merge of the per-replica
+  // snapshots, partition windows must drop snapshots (divergence is the
+  // signal), and the epoch-staleness SLO transition log is byte-compared
+  // across same-seed runs.
+  std::string slo_log;
+  bool fleet_merge_ok = false;
+  uint64_t snapshots_published = 0;
+  uint64_t snapshots_dropped = 0;
+  size_t slo_firing_at_end = 0;
 };
 
 // Runs the schedule with or without the replication layer; appends one table
@@ -115,6 +128,40 @@ RunOutcome Run(Scenario& s, const Options& opt, bool replicated,
 
   RunOutcome out;
   EventQueue queue;
+
+  // Fleet observability plane: each replica periodically snapshots its stats
+  // registry (stamped with its policy epoch) and ships it to the console on
+  // replica 0 over the same control mesh the 2PC rounds use — so the outage
+  // window drops snapshots exactly like it drops votes. The lagging replica
+  // runs an epoch-staleness SLO monitor against its own snapshots.
+  AdministrationConsole console;
+  FleetMetricsPublisher publisher(replicated ? &repl->control_plane() : nullptr,
+                                  &console);
+  SloMonitor slo("replica-2", &console);
+  if (replicated) {
+    slo.AddRule(MaxGapRule("policy-epoch-staleness", "repl.policy_epoch",
+                           "repl.committed_epoch", /*max_gap=*/0));
+  }
+  auto stamped_snapshot = [&](size_t i) {
+    StatsSnapshot snap = cluster.replica(i).stats().FullSnapshot();
+    // "repl.*" sorts after every "proxy.*" counter, so the vector stays
+    // name-sorted for exact Merge/Delta.
+    snap.counters.emplace_back("repl.committed_epoch", repl->committed_epoch());
+    snap.counters.emplace_back("repl.policy_epoch", cluster.replica(i).policy_epoch());
+    return snap;
+  };
+  auto publish_fleet = [&](SimTime now) {
+    if (!replicated) {
+      return;
+    }
+    for (size_t i = 0; i < cluster.size(); i++) {
+      StatsSnapshot snap = stamped_snapshot(i);
+      if (i == kLagger) {
+        slo.Evaluate(snap, now);
+      }
+      publisher.PublishSnapshot(i, std::move(snap), now);
+    }
+  };
 
   auto total_rewrites = [&] {
     uint64_t total = 0;
@@ -158,6 +205,7 @@ RunOutcome Run(Scenario& s, const Options& opt, bool replicated,
   queue.Schedule(kWarmAt, [&] {
     sync_clock(kWarmAt);
     fetch_all("warm");
+    publish_fleet(kWarmAt);
   });
   queue.Schedule(kEpochAt, [&] {
     if (replicated) {
@@ -172,16 +220,19 @@ RunOutcome Run(Scenario& s, const Options& opt, bool replicated,
       }
       out.epoch_committed = true;
     }
+    publish_fleet(kEpochAt);
   });
   queue.Schedule(kRefetchAt, [&] {
     sync_clock(kRefetchAt);
     fetch_all("re-instrument");
+    publish_fleet(kRefetchAt);
   });
   queue.Schedule(kProbeAt, [&] {
     sync_clock(kProbeAt);
     const uint64_t lagger_hits = cluster.replica(kLagger).cache().hits();
     fetch_all("rejoin-probe");
     out.stale_serves = cluster.replica(kLagger).cache().hits() - lagger_hits;
+    publish_fleet(kProbeAt);
   });
   queue.Schedule(kRejoinAt, [&] {
     if (replicated) {
@@ -191,14 +242,31 @@ RunOutcome Run(Scenario& s, const Options& opt, bool replicated,
       // after which every artifact is recomputed on demand.
       cluster.replica(kLagger).InvalidateCache();
     }
+    publish_fleet(kRejoinAt);
   });
   queue.Schedule(kPostAt, [&] {
     sync_clock(kPostAt);
     const uint64_t rw0 = total_rewrites();
     fetch_all("post-rejoin");
     out.postrejoin_rewrites = total_rewrites() - rw0;
+    publish_fleet(kPostAt);
   });
   queue.RunUntilEmpty();
+
+  if (replicated) {
+    // Final round already ran with every link up, so the console's merged
+    // view must now be exactly the union of the live registries.
+    StatsSnapshot manual;
+    for (size_t i = 0; i < cluster.size(); i++) {
+      manual.Merge(stamped_snapshot(i));
+    }
+    out.fleet_merge_ok =
+        console.FleetPrometheus() == PrometheusText(manual, {{"scope", "fleet"}});
+    out.slo_log = slo.TransitionLog();
+    out.snapshots_published = publisher.published();
+    out.snapshots_dropped = publisher.dropped();
+    out.slo_firing_at_end = slo.firing_count();
+  }
 
   out.total_rewrites = total_rewrites();
   out.stale_epoch_rejections = client.stale_epoch_rejections();
@@ -298,6 +366,9 @@ int main(int argc, char** argv) {
               base.total_rewrites, base.postrejoin_rewrites, base.stale_serves);
   std::printf("control_fingerprint=%016" PRIx64 " trace_fingerprint=%016" PRIx64 "\n",
               repl.control_fingerprint, repl.trace_fingerprint);
+  std::printf("fleet: snapshots=%" PRIu64 " dropped_in_partition=%" PRIu64 "\n",
+              repl.snapshots_published, repl.snapshots_dropped);
+  std::printf("slo transitions (virtual nanos):\n%s", repl.slo_log.c_str());
 
   bool ok = true;
   std::printf("\nChecks:\n");
@@ -318,6 +389,15 @@ int main(int argc, char** argv) {
                  base.postrejoin_rewrites > 0);
   ok &= Gate("replication does fewer total rewrites than flush-and-recompute",
              repl.total_rewrites < base.total_rewrites);
+  ok &= Gate("fleet-merged Prometheus equals merge of per-replica snapshots",
+             repl.fleet_merge_ok);
+  ok &= Gate("partition drops snapshots (console keeps the stale view)",
+             repl.snapshots_dropped > 0 &&
+                 repl.snapshots_dropped < repl.snapshots_published);
+  ok &= Gate("epoch-staleness SLO fired during the miss and cleared on rejoin",
+             repl.slo_log.find("ALERT policy-epoch-staleness") != std::string::npos &&
+                 repl.slo_log.find("CLEAR policy-epoch-staleness") != std::string::npos &&
+                 repl.slo_firing_at_end == 0);
 
   if (opt.check) {
     std::vector<std::vector<std::string>> rerun_rows;
@@ -326,6 +406,8 @@ int main(int argc, char** argv) {
                again.control_fingerprint == repl.control_fingerprint &&
                    again.trace_fingerprint == repl.trace_fingerprint &&
                    again.successes == repl.successes);
+    ok &= Gate("SLO transitions at identical virtual timestamps on rerun",
+               again.slo_log == repl.slo_log && !repl.slo_log.empty());
   }
 
   std::printf("\nA policy change is a fleet-wide commit: either every in-sync replica\n"

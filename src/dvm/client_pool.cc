@@ -98,7 +98,20 @@ void ClientPool::OnComplete(uint32_t id, uint32_t replica) {
   }
   size_t traffic = traffic_[id];
   succeeded_[traffic]++;
-  latency_[traffic]->Record(now + LinkTime() - start_[id]);
+  SimTime delivered = now + LinkTime();
+  latency_[traffic]->Record(delivered - start_[id]);
+  if (span_ring_ != nullptr && sampler_.Keep(id)) {
+    Span span;
+    span.id = id;
+    span.name = ServiceClassName(static_cast<ServiceClass>(traffic));
+    span.category = "pool";
+    span.track = replica + 1;
+    span.start_nanos = start_[id];
+    span.end_nanos = delivered;
+    span.annotations.emplace_back("attempts", std::to_string(attempts_[id] + 1));
+    span_ring_->Push(std::move(span));
+    spans_sampled_++;
+  }
 }
 
 }  // namespace dvm

@@ -25,6 +25,7 @@
 #include "src/dvm/availability.h"
 #include "src/simnet/sim.h"
 #include "src/support/stats.h"
+#include "src/support/trace.h"
 
 namespace dvm {
 
@@ -79,6 +80,16 @@ class ClientPool {
     return latency_[static_cast<size_t>(service)]->TakeSnapshot();
   }
 
+  // Scale-safe sampled tracing: sampled client ids (a pure hash decision made
+  // at the head, so identical seeds sample identical clients) emit one request
+  // span per completed request into a bounded ring. Off by default; a million
+  // unsampled clients pay one branch per completion.
+  void EnableTracing(BoundedSpanRing* ring, TraceSampler sampler) {
+    span_ring_ = ring;
+    sampler_ = sampler;
+  }
+  uint64_t spans_sampled() const { return spans_sampled_; }
+
  private:
   static constexpr size_t kServiceClasses = 6;
 
@@ -105,6 +116,10 @@ class ClientPool {
   std::vector<uint8_t> attempts_;
   std::vector<uint32_t> backoff_ns_;  // current exponential wait (cap < 4.2 s)
   std::vector<SimTime> start_;        // first-attempt time
+
+  BoundedSpanRing* span_ring_ = nullptr;
+  TraceSampler sampler_{0, 0};
+  uint64_t spans_sampled_ = 0;
 
   uint64_t issued_ = 0;
   uint64_t shed_attempts_ = 0;

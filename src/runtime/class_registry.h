@@ -69,6 +69,13 @@ struct InlineCache {
   uint32_t array_desc_sym = 0;
   std::string cast_target;            // checkcast/instanceof_quick: target class
   uint32_t cast_target_sym = 0;
+  // Per-site profile, always compiled in (a counter bump on paths that were
+  // already dispatching): monomorphic hits, slow-path misses, and receiver
+  // transitions. transitions >= the megamorphic threshold marks a site the
+  // tier-up planner should not inline through.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t transitions = 0;
 };
 
 // Interpreter-ready method body: decoded instructions and handler table
@@ -88,6 +95,11 @@ struct PreparedMethod {
     std::string catch_class;  // "" = catch all
   };
   std::vector<Handler> handlers;
+  // Method-hotness profile, always compiled in and identical across engines:
+  // entry count plus taken backward branches (loop trip evidence). These are
+  // the tier-up triggers the planned template JIT consumes.
+  uint64_t invocations = 0;
+  uint64_t backedges = 0;
 };
 
 enum class InitState : uint8_t { kUninitialized, kInitializing, kInitialized };

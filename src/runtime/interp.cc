@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/bytecode/descriptor.h"
+#include "src/runtime/profile.h"
 #include "src/support/interner.h"
 #include "src/verifier/link_checker.h"
 
@@ -109,6 +110,23 @@ Result<PreparedMethod*> Interpreter::Prepare(RuntimeClass* cls, const MethodInfo
   return out;
 }
 
+void Interpreter::ProfileMethodEntry() {
+  ExecutionProfiler* prof = machine_.profiler();
+  if (prof != nullptr && prof->SampleDue(machine_.virtual_nanos())) {
+    prof->TakeSample(machine_, machine_.virtual_nanos());
+    machine_.counters().profile_events++;
+  }
+}
+
+void Interpreter::ProfileBackedge(PreparedMethod* prepared) {
+  prepared->backedges++;
+  ExecutionProfiler* prof = machine_.profiler();
+  if (prof != nullptr && prof->SampleDue(machine_.virtual_nanos())) {
+    prof->TakeSample(machine_, machine_.virtual_nanos());
+    machine_.counters().profile_events++;
+  }
+}
+
 void Interpreter::EnsureArena(size_t slots) {
   if (arena_.size() < slots) {
     size_t grown = arena_.size() < 1024 ? size_t{1024} : arena_.size() * 2;
@@ -145,7 +163,9 @@ Status Interpreter::PushFrame(RuntimeClass* cls, const MethodInfo* method,
   frames_.push_back(frame);
   machine_.call_stack().push_back(FrameInfo{cls, method});
   machine_.counters().method_invocations++;
+  prepared->invocations++;
   machine_.AddNanos(machine_.config().cost.nanos_per_invoke);
+  ProfileMethodEntry();
   return Status::Ok();
 }
 
@@ -184,7 +204,9 @@ Status Interpreter::PushFrameSliced(RuntimeClass* cls, const MethodInfo* method,
   frames_.push_back(frame);
   machine_.call_stack().push_back(FrameInfo{cls, method});
   machine_.counters().method_invocations++;
+  prepared->invocations++;
   machine_.AddNanos(machine_.config().cost.nanos_per_invoke);
+  ProfileMethodEntry();
   return Status::Ok();
 }
 
@@ -495,9 +517,14 @@ Status Interpreter::Invoke(Op op, uint16_t cp_index, InlineCache& ic) {
     }
     if (ic.invoke_method != nullptr && ic.receiver_class == receiver->class_name) {
       // Monomorphic fast path.
+      ic.hits++;
       owner = ic.invoke_owner;
       method = ic.invoke_method;
     } else {
+      ic.misses++;
+      if (ic.receiver_sym != 0 && ic.receiver_sym != receiver->class_sym) {
+        ic.transitions++;
+      }
       DVM_ASSIGN_OR_RETURN(MemberRef ref, pool.MethodRefAt(cp_index));
       uint32_t method_sym = InternSymbol(ref.member_name);
       uint32_t desc_sym = InternSymbol(ref.descriptor);
@@ -898,7 +925,11 @@ Status Interpreter::Step() {
           break;
       }
       if (taken) {
-        f.pc = static_cast<uint32_t>(instr.a);
+        uint32_t target = static_cast<uint32_t>(instr.a);
+        if (target < f.pc) {
+          ProfileBackedge(f.prepared);
+        }
+        f.pc = target;
       }
       break;
     }
@@ -935,7 +966,11 @@ Status Interpreter::Step() {
           break;
       }
       if (taken) {
-        f.pc = static_cast<uint32_t>(instr.a);
+        uint32_t target = static_cast<uint32_t>(instr.a);
+        if (target < f.pc) {
+          ProfileBackedge(f.prepared);
+        }
+        f.pc = target;
       }
       break;
     }
@@ -946,7 +981,11 @@ Status Interpreter::Step() {
       ObjRef a = pop().AsRef();
       bool taken = instr.op == Op::kIfAcmpeq ? a == b : a != b;
       if (taken) {
-        f.pc = static_cast<uint32_t>(instr.a);
+        uint32_t target = static_cast<uint32_t>(instr.a);
+        if (target < f.pc) {
+          ProfileBackedge(f.prepared);
+        }
+        f.pc = target;
       }
       break;
     }
@@ -955,13 +994,22 @@ Status Interpreter::Step() {
       DVM_RETURN_IF_ERROR(underflow_guard(1));
       bool is_null = pop().IsNullRef();
       if ((instr.op == Op::kIfnull) == is_null) {
-        f.pc = static_cast<uint32_t>(instr.a);
+        uint32_t target = static_cast<uint32_t>(instr.a);
+        if (target < f.pc) {
+          ProfileBackedge(f.prepared);
+        }
+        f.pc = target;
       }
       break;
     }
-    case Op::kGoto:
-      f.pc = static_cast<uint32_t>(instr.a);
+    case Op::kGoto: {
+      uint32_t target = static_cast<uint32_t>(instr.a);
+      if (target < f.pc) {
+        ProfileBackedge(f.prepared);
+      }
+      f.pc = target;
       break;
+    }
     case Op::kIreturn:
     case Op::kLreturn:
     case Op::kAreturn:
@@ -1236,6 +1284,13 @@ Status Interpreter::QuickInvokeSlow(Op op, uint32_t site_ix) {
     if (receiver == nullptr) {
       return HostErr("dangling receiver reference");
     }
+    // Any slow-path entry (cold or after a quickened fast-path failure) is a
+    // monomorphic cache miss; a receiver symbol change is the transition the
+    // megamorphic threshold watches.
+    ic.misses++;
+    if (ic.receiver_sym != 0 && ic.receiver_sym != receiver->class_sym) {
+      ic.transitions++;
+    }
     DVM_ASSIGN_OR_RETURN(MemberRef ref, pool.MethodRefAt(cp_index));
     uint32_t method_sym = InternSymbol(ref.member_name);
     uint32_t desc_sym = InternSymbol(ref.descriptor);
@@ -1378,6 +1433,15 @@ Status Interpreter::QuickInvokeSlow(Op op, uint32_t site_ix) {
   do {                                                                        \
     if (static_cast<uint32_t>(ix) >= max_locals)                              \
       QHOST("local index out of range in " + f->method->Id());                \
+  } while (0)
+// Taken branch: pc is already past the branch instruction, so a target below
+// it is a backward edge — the loop-trip evidence the tier-up profile counts,
+// and a profiler poll point (mirrored in the reference engine's Step).
+#define QBRANCH(target_expr)                                                  \
+  do {                                                                        \
+    uint32_t target_ = (target_expr);                                         \
+    if (target_ < pc) ProfileBackedge(f->prepared);                           \
+    pc = target_;                                                             \
   } while (0)
 
 Status Interpreter::RunQuick() {
@@ -1734,7 +1798,7 @@ Status Interpreter::RunQuick() {
         break;
     }
     if (taken) {
-      pc = static_cast<uint32_t>(inst.a);
+      QBRANCH(static_cast<uint32_t>(inst.a));
     }
   } NEXT();
 
@@ -1767,7 +1831,7 @@ Status Interpreter::RunQuick() {
         break;
     }
     if (taken) {
-      pc = static_cast<uint32_t>(inst.a);
+      QBRANCH(static_cast<uint32_t>(inst.a));
     }
   } NEXT();
 
@@ -1777,7 +1841,7 @@ Status Interpreter::RunQuick() {
     ObjRef a = (--sp)->AsRef();
     bool taken = inst.op == Op::kIfAcmpeq ? a == b : a != b;
     if (taken) {
-      pc = static_cast<uint32_t>(inst.a);
+      QBRANCH(static_cast<uint32_t>(inst.a));
     }
   } NEXT();
 
@@ -1785,12 +1849,12 @@ Status Interpreter::RunQuick() {
     QNEED(1);
     bool is_null = (--sp)->IsNullRef();
     if ((inst.op == Op::kIfnull) == is_null) {
-      pc = static_cast<uint32_t>(inst.a);
+      QBRANCH(static_cast<uint32_t>(inst.a));
     }
   } NEXT();
 
   OP(kGoto) {
-    pc = static_cast<uint32_t>(inst.a);
+    QBRANCH(static_cast<uint32_t>(inst.a));
   } NEXT();
 
   OP(kIreturn) OP(kLreturn) OP(kAreturn) {
@@ -1990,7 +2054,7 @@ Status Interpreter::RunQuick() {
   } NEXT();
 
   OP(kInvokevirtualQuick) {
-    const InlineCache& ic = f->prepared->cache[pc - 1];
+    InlineCache& ic = f->prepared->cache[pc - 1];
     uint32_t argc = static_cast<uint32_t>(ic.arg_count);
     if (sp - floor < static_cast<ptrdiff_t>(argc)) {
       QHOST("operand stack underflow on invoke in " + f->method->Id());
@@ -2007,6 +2071,7 @@ Status Interpreter::RunQuick() {
     QSYNC();
     if (obj->class_sym == ic.receiver_sym) {
       // Monomorphic hit: one integer compare, no constant-pool access.
+      ic.hits++;
       DVM_RETURN_IF_ERROR(InvokeResolved(ic.invoke_owner, ic.invoke_method, argc));
     } else {
       DVM_RETURN_IF_ERROR(QuickInvokeSlow(Op::kInvokevirtual, pc - 1));

@@ -104,6 +104,12 @@ class Interpreter {
 
   void CollectFrameRoots(std::vector<ObjRef>* roots) const;
 
+  // Profiler polls, shared by both engines so samples land at identical
+  // virtual times: at method entry (after the invoke cost is charged) and at
+  // taken backward branches. No-ops when no profiler is attached.
+  void ProfileMethodEntry();
+  void ProfileBackedge(PreparedMethod* prepared);
+
   Machine& machine_;
   std::vector<ExecFrame> frames_;
   // One contiguous backing store for every frame's locals and operand stack.

@@ -26,6 +26,7 @@ namespace dvm {
 
 class Machine;
 class StackIntrospectionSecurity;
+class ExecutionProfiler;
 
 // Native method implementation. `args` includes the receiver at index 0 for
 // instance methods. May signal a guest exception via Machine::ThrowGuest and
@@ -186,6 +187,11 @@ class Machine {
   // are configured by the experiment harness.
   StackIntrospectionSecurity* stack_security() { return stack_security_.get(); }
 
+  // Optional virtual-clock sampling profiler (not owned). Null = sampling off;
+  // the always-on method/site counters are unaffected by this hook.
+  void SetProfiler(ExecutionProfiler* profiler) { profiler_ = profiler; }
+  ExecutionProfiler* profiler() const { return profiler_; }
+
   // Invoked after each class finishes loading and linking. Clients use it to
   // assign security domains from the organizational policy.
   std::function<void(RuntimeClass&)> on_class_loaded;
@@ -218,6 +224,7 @@ class Machine {
   std::map<std::string, std::vector<Assumption>> pending_link_checks_;
   std::map<std::string, ObjRef> interned_strings_;
   std::unique_ptr<StackIntrospectionSecurity> stack_security_;
+  ExecutionProfiler* profiler_ = nullptr;
 };
 
 // Installs the java/* native implementations (System, String, Thread, File,

@@ -1,0 +1,141 @@
+#include "src/runtime/profile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/runtime/class_registry.h"
+#include "src/runtime/machine.h"
+
+namespace dvm {
+
+ExecutionProfiler::ExecutionProfiler(ProfilerConfig config)
+    : config_(config), next_sample_at_(config.sample_period_nanos) {
+  if (config_.sample_period_nanos == 0) {
+    config_.sample_period_nanos = 1;
+    next_sample_at_ = 1;
+  }
+}
+
+void ExecutionProfiler::TakeSample(const Machine& machine, uint64_t virtual_now) {
+  std::string key;
+  key.reserve(64);
+  for (const FrameInfo& frame : machine.call_stack()) {
+    if (frame.cls == nullptr || frame.method == nullptr) {
+      continue;
+    }
+    if (!key.empty()) {
+      key += ';';
+    }
+    key += frame.cls->name;
+    key += '.';
+    key += frame.method->name;
+  }
+  if (key.empty()) {
+    key = "<native>";
+  }
+  stacks_[key]++;
+  samples_++;
+  const uint64_t period = config_.sample_period_nanos;
+  if (virtual_now >= next_sample_at_) {
+    next_sample_at_ += period * ((virtual_now - next_sample_at_) / period + 1);
+  } else {
+    next_sample_at_ += period;
+  }
+}
+
+std::string ExecutionProfiler::CollapsedStacks() const {
+  std::string out;
+  char buf[32];
+  for (const auto& [stack, count] : stacks_) {
+    out += stack;
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", count);
+    out += buf;
+  }
+  return out;
+}
+
+std::string ExecutionProfiler::PprofText() const {
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "--- profile: virtual-clock samples ---\nperiod_nanos: %" PRIu64
+                "\nsamples: %" PRIu64 "\n",
+                config_.sample_period_nanos, samples_);
+  out += buf;
+  for (const auto& [stack, count] : stacks_) {
+    // Share in parts-per-million, integer math: deterministic bytes.
+    uint64_t ppm = samples_ == 0 ? 0 : count * 1'000'000 / samples_;
+    std::snprintf(buf, sizeof(buf), "%10" PRIu64 " %7" PRIu64 "ppm ", count, ppm);
+    out += buf;
+    out += stack;
+    out += '\n';
+  }
+  return out;
+}
+
+void ExecutionProfiler::Reset() {
+  stacks_.clear();
+  samples_ = 0;
+  next_sample_at_ = config_.sample_period_nanos;
+}
+
+std::vector<MethodProfileRow> CollectMethodProfile(ClassRegistry& registry) {
+  std::vector<MethodProfileRow> rows;
+  for (const std::string& class_name : registry.loaded_order()) {
+    RuntimeClass* cls = registry.FindLoaded(class_name);
+    if (cls == nullptr) {
+      continue;
+    }
+    // prepared is an unordered_map; collect and sort by key so row order never
+    // depends on hash layout.
+    std::vector<const std::pair<const std::string, std::unique_ptr<PreparedMethod>>*> entries;
+    entries.reserve(cls->prepared.size());
+    for (const auto& entry : cls->prepared) {
+      entries.push_back(&entry);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+    for (const auto* entry : entries) {
+      const PreparedMethod& prepared = *entry->second;
+      MethodProfileRow row;
+      row.method = cls->name + "." + entry->first;
+      row.invocations = prepared.invocations;
+      row.backedges = prepared.backedges;
+      for (const InlineCache& site : prepared.cache) {
+        row.ic_hits += site.hits;
+        row.ic_misses += site.misses;
+        if (site.transitions >= kMegamorphicThreshold) {
+          row.megamorphic_sites++;
+        }
+      }
+      if (row.invocations != 0 || row.backedges != 0 || row.ic_hits != 0 ||
+          row.ic_misses != 0) {
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const MethodProfileRow& a,
+                                                const MethodProfileRow& b) {
+    return a.invocations != b.invocations ? a.invocations > b.invocations
+                                          : a.method < b.method;
+  });
+  return rows;
+}
+
+std::string MethodProfileTable(const std::vector<MethodProfileRow>& rows, size_t top_n) {
+  std::string out = "method                                               invocations   backedges     ic_hits   ic_misses  megamorphic\n";
+  char buf[160];
+  size_t n = std::min(top_n, rows.size());
+  for (size_t i = 0; i < n; i++) {
+    const MethodProfileRow& row = rows[i];
+    std::snprintf(buf, sizeof(buf), "%-50s %13" PRIu64 " %11" PRIu64 " %11" PRIu64
+                  " %11" PRIu64 " %12" PRIu64 "\n",
+                  row.method.c_str(), row.invocations, row.backedges, row.ic_hits,
+                  row.ic_misses, row.megamorphic_sites);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dvm

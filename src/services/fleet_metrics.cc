@@ -1,0 +1,30 @@
+#include "src/services/fleet_metrics.h"
+
+#include <utility>
+
+namespace dvm {
+
+bool FleetMetricsPublisher::Publish(size_t replica, const StatsRegistry& stats,
+                                    uint64_t now) {
+  return PublishSnapshot(replica, stats.FullSnapshot(), now);
+}
+
+bool FleetMetricsPublisher::PublishSnapshot(size_t replica, StatsSnapshot snapshot,
+                                            uint64_t now) {
+  published_++;
+  uint64_t arrive_at = now;
+  if (plane_ != nullptr && replica != config_.console_replica) {
+    uint64_t bytes = snapshot.SerializedSize();
+    ControlDelivery delivery = plane_->Send(replica, config_.console_replica, bytes, now);
+    if (!delivery.delivered) {
+      return false;  // partitioned/lossy link: the console keeps the old view
+    }
+    bytes_shipped_ += bytes;
+    arrive_at = delivery.at;
+  }
+  delivered_++;
+  console_->IngestReplicaSnapshot(replica, now, arrive_at, std::move(snapshot));
+  return true;
+}
+
+}  // namespace dvm

@@ -1,0 +1,62 @@
+// Fleet metrics aggregation: periodic per-replica StatsRegistry snapshots
+// shipped over the ControlPlane mesh to the AdministrationConsole.
+//
+// Each replica snapshots its registry (counters plus log-bucketed histograms,
+// which merge exactly bucket-by-bucket) and sends it as a control-plane
+// message to the replica hosting the console, paying the mesh's modeled
+// bandwidth and latency for the serialized size. Partitioned or lossy links
+// drop snapshots exactly like any other control message — the console's
+// divergence view then shows the dark replica aging out, which is the signal,
+// not a bug. The console keeps the latest snapshot per replica; FleetMerged()
+// is the exact union (ISSUE 8 acceptance: fleet export == merge of
+// per-replica snapshots).
+#ifndef SRC_SERVICES_FLEET_METRICS_H_
+#define SRC_SERVICES_FLEET_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/services/monitor_service.h"
+#include "src/simnet/multicast.h"
+#include "src/support/stats.h"
+
+namespace dvm {
+
+struct FleetMetricsConfig {
+  // Mesh node the console is attached to; snapshots from other replicas pay
+  // one control-plane hop, the local replica's snapshot is ingested directly.
+  size_t console_replica = 0;
+};
+
+class FleetMetricsPublisher {
+ public:
+  // `plane` may be null for single-process setups: every snapshot is then
+  // ingested directly with zero transit time.
+  FleetMetricsPublisher(ControlPlane* plane, AdministrationConsole* console,
+                        FleetMetricsConfig config = {})
+      : plane_(plane), console_(console), config_(config) {}
+
+  // Snapshots `stats` as of virtual time `now` on `replica` and ships it to
+  // the console. Returns true when the snapshot was delivered (false = the
+  // mesh dropped it; the console keeps serving the previous one).
+  bool Publish(size_t replica, const StatsRegistry& stats, uint64_t now);
+  // Pre-taken snapshot variant (callers that need to stamp extra counters).
+  bool PublishSnapshot(size_t replica, StatsSnapshot snapshot, uint64_t now);
+
+  uint64_t published() const { return published_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t dropped() const { return published_ - delivered_; }
+  uint64_t bytes_shipped() const { return bytes_shipped_; }
+
+ private:
+  ControlPlane* plane_;
+  AdministrationConsole* console_;
+  FleetMetricsConfig config_;
+  uint64_t published_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t bytes_shipped_ = 0;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_SERVICES_FLEET_METRICS_H_

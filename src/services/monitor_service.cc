@@ -1,5 +1,9 @@
 #include "src/services/monitor_service.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
 #include "src/rewrite/method_editor.h"
 #include "src/runtime/syslib.h"
 
@@ -60,7 +64,18 @@ uint64_t AdministrationConsole::OpenSession(const std::string& user,
   return session.session_id;
 }
 
-void AdministrationConsole::Append(AuditEvent event) { log_.push_back(std::move(event)); }
+void AdministrationConsole::Append(AuditEvent event) {
+  events_received_++;
+  if (log_capacity_ == 0) {
+    events_dropped_++;
+    return;
+  }
+  if (log_.size() == log_capacity_) {
+    log_.pop_front();
+    events_dropped_++;
+  }
+  log_.push_back(std::move(event));
+}
 
 void AdministrationConsole::RecordCallEdge(const std::string& caller,
                                            const std::string& callee) {
@@ -91,7 +106,62 @@ void AdministrationConsole::IngestTrace(const Tracer& tracer) {
   }
 }
 
-void AdministrationConsole::RecordSpan(Span span) { trace_spans_.push_back(std::move(span)); }
+void AdministrationConsole::RecordSpan(Span span) { span_ring_.Push(std::move(span)); }
+
+void AdministrationConsole::IngestReplicaSnapshot(size_t replica, uint64_t taken_at,
+                                                  uint64_t received_at, StatsSnapshot stats) {
+  snapshots_ingested_++;
+  ReplicaSnapshot& slot = replica_snapshots_[replica];
+  if (slot.stats.counters.empty() || taken_at >= slot.taken_at) {
+    slot.replica = replica;
+    slot.taken_at = taken_at;
+    slot.received_at = received_at;
+    slot.stats = std::move(stats);
+  }
+}
+
+StatsSnapshot AdministrationConsole::FleetMerged() const {
+  StatsSnapshot merged;
+  for (const auto& [replica, snap] : replica_snapshots_) {
+    merged.Merge(snap.stats);
+  }
+  return merged;
+}
+
+std::string AdministrationConsole::FleetPrometheus() const {
+  return PrometheusText(FleetMerged(), {{"scope", "fleet"}});
+}
+
+std::string AdministrationConsole::DivergenceView() const {
+  // Collect the union of counter names, then print each replica's value with
+  // the min/max spread. Iteration is name-sorted, so output is deterministic.
+  std::map<std::string, std::map<size_t, uint64_t>> by_name;
+  for (const auto& [replica, snap] : replica_snapshots_) {
+    for (const auto& [name, value] : snap.stats.counters) {
+      by_name[name][replica] = value;
+    }
+  }
+  std::string out;
+  char buf[64];
+  for (const auto& [name, values] : by_name) {
+    uint64_t lo = UINT64_MAX;
+    uint64_t hi = 0;
+    std::string row;
+    for (const auto& [replica, snap] : replica_snapshots_) {
+      auto it = values.find(replica);
+      uint64_t v = it == values.end() ? 0 : it->second;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      std::snprintf(buf, sizeof(buf), " r%zu=%llu", replica,
+                    static_cast<unsigned long long>(v));
+      row += buf;
+    }
+    std::snprintf(buf, sizeof(buf), " spread=%llu\n",
+                  static_cast<unsigned long long>(hi - lo));
+    out += name + row + buf;
+  }
+  return out;
+}
 
 const std::vector<std::string>& AdministrationConsole::FirstUseOrder(
     uint64_t session_id) const {

@@ -11,7 +11,9 @@
 #ifndef SRC_SERVICES_MONITOR_SERVICE_H_
 #define SRC_SERVICES_MONITOR_SERVICE_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,6 +21,7 @@
 
 #include "src/rewrite/filter.h"
 #include "src/runtime/machine.h"
+#include "src/support/stats.h"
 #include "src/support/trace.h"
 
 namespace dvm {
@@ -40,10 +43,30 @@ struct MonitoredSession {
   std::string vm_version;
 };
 
-// The administration console: session handshakes, append-only audit log,
-// aggregate call graph and code-usage statistics.
+// One replica's periodic StatsRegistry snapshot as received by the console.
+struct ReplicaSnapshot {
+  size_t replica = 0;
+  uint64_t taken_at = 0;  // virtual nanos at the replica when snapped
+  uint64_t received_at = 0;  // virtual nanos at the console on delivery
+  StatsSnapshot stats;
+};
+
+// The administration console: session handshakes, bounded audit log and span
+// ring, aggregate call graph, code-usage statistics, and the fleet metrics
+// sink (per-replica snapshots, exact fleet merge, divergence view).
 class AdministrationConsole {
  public:
+  // The log and span stores are rings, not append-only vectors: a console fed
+  // by 10^6 clients must hold the most recent window under a fixed RSS
+  // ceiling, counting what it sheds. Defaults keep every existing
+  // single-process workload lossless.
+  static constexpr size_t kDefaultLogCapacity = 1 << 16;
+  static constexpr size_t kDefaultSpanCapacity = 1 << 16;
+
+  explicit AdministrationConsole(size_t log_capacity = kDefaultLogCapacity,
+                                 size_t span_capacity = kDefaultSpanCapacity)
+      : log_capacity_(log_capacity), span_ring_(span_capacity) {}
+
   // Handshake: establishes credentials and assigns a session identifier.
   uint64_t OpenSession(const std::string& user, const std::string& client_host,
                        const std::string& hardware_config, const std::string& vm_version);
@@ -63,10 +86,16 @@ class AdministrationConsole {
   // of its clients. Exported via ChromeTraceJson(trace_spans()).
   void IngestTrace(const Tracer& tracer);
   void RecordSpan(Span span);
-  const std::vector<Span>& trace_spans() const { return trace_spans_; }
-  uint64_t spans_ingested() const { return trace_spans_.size(); }
+  // Ring contents, oldest first (materialized copy — the backing store is a
+  // bounded ring, not a stable vector).
+  std::vector<Span> trace_spans() const { return span_ring_.Snapshot(); }
+  // Totals ever ingested / shed, not the current ring occupancy.
+  uint64_t spans_ingested() const { return span_ring_.ingested(); }
+  uint64_t spans_dropped() const { return span_ring_.dropped(); }
 
-  const std::vector<AuditEvent>& log() const { return log_; }
+  std::vector<AuditEvent> log() const {
+    return std::vector<AuditEvent>(log_.begin(), log_.end());
+  }
   const std::vector<MonitoredSession>& sessions() const { return sessions_; }
   const std::map<std::pair<std::string, std::string>, uint64_t>& call_graph() const {
     return call_graph_;
@@ -76,17 +105,40 @@ class AdministrationConsole {
   const std::map<std::string, std::string>& code_versions() const { return code_versions_; }
   uint64_t code_version_changes() const { return code_version_changes_; }
 
-  uint64_t events_received() const { return log_.size(); }
+  uint64_t events_received() const { return events_received_; }
+  uint64_t events_dropped() const { return events_dropped_; }
+
+  // --- fleet metrics sink ------------------------------------------------------
+  // Latest snapshot per replica (a newer taken_at replaces the previous one).
+  void IngestReplicaSnapshot(size_t replica, uint64_t taken_at, uint64_t received_at,
+                             StatsSnapshot stats);
+  const std::map<size_t, ReplicaSnapshot>& replica_snapshots() const {
+    return replica_snapshots_;
+  }
+  uint64_t snapshots_ingested() const { return snapshots_ingested_; }
+  // Exact union of every replica's latest snapshot (counters add, histogram
+  // buckets add) — what a fleet-level scrape sees.
+  StatsSnapshot FleetMerged() const;
+  // Prometheus exposition of the fleet merge.
+  std::string FleetPrometheus() const;
+  // Per-counter per-replica values with min/max spread: the view that makes a
+  // diverging replica (stale epoch, shedding alone, cold caches) stand out.
+  std::string DivergenceView() const;
 
  private:
   uint64_t next_session_id_ = 1;
   std::vector<MonitoredSession> sessions_;
-  std::vector<AuditEvent> log_;
+  size_t log_capacity_;
+  std::deque<AuditEvent> log_;
+  uint64_t events_received_ = 0;
+  uint64_t events_dropped_ = 0;
   std::map<std::pair<std::string, std::string>, uint64_t> call_graph_;
   std::map<uint64_t, std::vector<std::string>> first_use_;
   std::map<std::string, std::string> code_versions_;
   uint64_t code_version_changes_ = 0;
-  std::vector<Span> trace_spans_;
+  BoundedSpanRing span_ring_;
+  std::map<size_t, ReplicaSnapshot> replica_snapshots_;
+  uint64_t snapshots_ingested_ = 0;
 };
 
 // --- static components ---------------------------------------------------------

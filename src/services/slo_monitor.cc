@@ -1,0 +1,165 @@
+#include "src/services/slo_monitor.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dvm {
+
+SloRule P99CeilingRule(std::string name, std::string histogram, uint64_t ceiling_nanos,
+                       uint64_t min_events) {
+  SloRule rule;
+  rule.name = std::move(name);
+  rule.kind = SloRule::Kind::kP99Ceiling;
+  rule.metric = std::move(histogram);
+  rule.threshold = ceiling_nanos;
+  rule.min_events = min_events;
+  return rule;
+}
+
+SloRule MinSuccessRule(std::string name, std::string success_counter,
+                       std::string total_counter, uint64_t min_ppm, uint64_t min_events) {
+  SloRule rule;
+  rule.name = std::move(name);
+  rule.kind = SloRule::Kind::kMinRatioPpm;
+  rule.metric = std::move(success_counter);
+  rule.reference = std::move(total_counter);
+  rule.threshold = min_ppm;
+  rule.min_events = min_events;
+  return rule;
+}
+
+SloRule MaxRateRule(std::string name, std::string event_counter, std::string total_counter,
+                    uint64_t max_ppm, uint64_t min_events) {
+  SloRule rule;
+  rule.name = std::move(name);
+  rule.kind = SloRule::Kind::kMaxRatioPpm;
+  rule.metric = std::move(event_counter);
+  rule.reference = std::move(total_counter);
+  rule.threshold = max_ppm;
+  rule.min_events = min_events;
+  return rule;
+}
+
+SloRule MaxGapRule(std::string name, std::string behind_counter, std::string ahead_counter,
+                   uint64_t max_gap) {
+  SloRule rule;
+  rule.name = std::move(name);
+  rule.kind = SloRule::Kind::kMaxGap;
+  rule.metric = std::move(behind_counter);
+  rule.reference = std::move(ahead_counter);
+  rule.threshold = max_gap;
+  return rule;
+}
+
+void SloMonitor::AddRule(SloRule rule) {
+  RuleState state;
+  state.rule = std::move(rule);
+  rules_.push_back(std::move(state));
+}
+
+void SloMonitor::SetState(RuleState& state, bool firing, uint64_t observed, uint64_t now) {
+  if (firing == state.firing) {
+    return;
+  }
+  state.firing = firing;
+  SloTransition transition;
+  transition.rule = state.rule.name;
+  transition.at = now;
+  transition.firing = firing;
+  transition.observed = observed;
+  transition.threshold = state.rule.threshold;
+  transitions_.push_back(transition);
+  if (console_ != nullptr) {
+    AuditEvent event;
+    event.kind = firing ? "slo-alert" : "slo-clear";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), " observed=%" PRIu64 " threshold=%" PRIu64
+                  " at=%" PRIu64, observed, state.rule.threshold, now);
+    event.detail = source_ + " " + state.rule.name + buf;
+    console_->Append(std::move(event));
+  }
+}
+
+void SloMonitor::Evaluate(const StatsSnapshot& snapshot, uint64_t virtual_now) {
+  evaluations_++;
+  StatsSnapshot window;
+  if (has_previous_) {
+    window = snapshot.Delta(previous_);
+  }
+  for (RuleState& state : rules_) {
+    const SloRule& rule = state.rule;
+    switch (rule.kind) {
+      case SloRule::Kind::kP99Ceiling: {
+        if (!has_previous_) {
+          break;
+        }
+        Histogram::Snapshot h = window.HistogramFor(rule.metric);
+        if (h.count < rule.min_events) {
+          break;  // too little traffic in the window to judge
+        }
+        uint64_t p99 = static_cast<uint64_t>(h.Percentile(99.0));
+        SetState(state, p99 > rule.threshold, p99, virtual_now);
+        break;
+      }
+      case SloRule::Kind::kMinRatioPpm:
+      case SloRule::Kind::kMaxRatioPpm: {
+        if (!has_previous_) {
+          break;
+        }
+        uint64_t denom = window.CounterValue(rule.reference);
+        if (denom < rule.min_events) {
+          break;
+        }
+        uint64_t ppm = window.CounterValue(rule.metric) * 1'000'000 / denom;
+        bool firing = rule.kind == SloRule::Kind::kMinRatioPpm ? ppm < rule.threshold
+                                                               : ppm > rule.threshold;
+        SetState(state, firing, ppm, virtual_now);
+        break;
+      }
+      case SloRule::Kind::kMaxGap: {
+        // Cumulative, not windowed: staleness is an instantaneous property.
+        uint64_t behind = snapshot.CounterValue(rule.metric);
+        uint64_t ahead = snapshot.CounterValue(rule.reference);
+        uint64_t gap = ahead > behind ? ahead - behind : 0;
+        SetState(state, gap > rule.threshold, gap, virtual_now);
+        break;
+      }
+    }
+  }
+  previous_ = snapshot;
+  has_previous_ = true;
+}
+
+bool SloMonitor::firing(const std::string& rule) const {
+  for (const RuleState& state : rules_) {
+    if (state.rule.name == rule) {
+      return state.firing;
+    }
+  }
+  return false;
+}
+
+size_t SloMonitor::firing_count() const {
+  size_t n = 0;
+  for (const RuleState& state : rules_) {
+    n += state.firing ? 1 : 0;
+  }
+  return n;
+}
+
+std::string SloMonitor::TransitionLog() const {
+  std::string out;
+  char buf[64];
+  for (const SloTransition& t : transitions_) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " ", t.at);
+    out += buf;
+    out += t.firing ? "ALERT " : "CLEAR ";
+    out += t.rule;
+    std::snprintf(buf, sizeof(buf), " observed=%" PRIu64 " threshold=%" PRIu64 "\n",
+                  t.observed, t.threshold);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace dvm

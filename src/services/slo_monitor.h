@@ -1,0 +1,113 @@
+// Deterministic SLO monitoring on the virtual clock.
+//
+// Burn-rate rules are evaluated over the *delta window* between consecutive
+// StatsSnapshot observations of the same registry — the standard multi-window
+// burn-rate construction collapsed to one window per evaluation tick. All
+// arithmetic is integer (ratios in parts-per-million, latencies in whole
+// nanoseconds), and the evaluation trigger is the virtual clock, so two
+// same-seed runs fire every alert at provably identical virtual timestamps —
+// an alert timeline is a reproducible artifact the replication and
+// availability benches can byte-diff.
+//
+// Alerts are edge-triggered typed events ("slo-alert" on entering violation,
+// "slo-clear" on leaving) appended to the AdministrationConsole audit stream,
+// the same tamper-resistant channel the paper routes audit events through.
+#ifndef SRC_SERVICES_SLO_MONITOR_H_
+#define SRC_SERVICES_SLO_MONITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/services/monitor_service.h"
+#include "src/support/stats.h"
+
+namespace dvm {
+
+struct SloRule {
+  enum class Kind {
+    // Delta-window p99 of a histogram must stay at or below threshold nanos.
+    kP99Ceiling,
+    // numerator/denominator (delta counters) must stay >= threshold ppm.
+    kMinRatioPpm,
+    // numerator/denominator (delta counters) must stay <= threshold ppm.
+    kMaxRatioPpm,
+    // reference - metric (cumulative counters, not deltas) must stay <=
+    // threshold — e.g. committed minus applied policy epoch (staleness).
+    kMaxGap,
+  };
+
+  std::string name;
+  Kind kind = Kind::kP99Ceiling;
+  std::string metric;     // histogram (p99) or numerator / behind counter
+  std::string reference;  // denominator counter, or ahead counter for kMaxGap
+  uint64_t threshold = 0;
+  // Windows with fewer observations than this are skipped (no state change):
+  // a burn rate over three requests is noise, not a page.
+  uint64_t min_events = 1;
+};
+
+// Convenience constructors for the four standard rule shapes.
+SloRule P99CeilingRule(std::string name, std::string histogram, uint64_t ceiling_nanos,
+                       uint64_t min_events = 1);
+SloRule MinSuccessRule(std::string name, std::string success_counter,
+                       std::string total_counter, uint64_t min_ppm, uint64_t min_events = 1);
+SloRule MaxRateRule(std::string name, std::string event_counter, std::string total_counter,
+                    uint64_t max_ppm, uint64_t min_events = 1);
+SloRule MaxGapRule(std::string name, std::string behind_counter, std::string ahead_counter,
+                   uint64_t max_gap);
+
+// One edge-triggered state transition.
+struct SloTransition {
+  std::string rule;
+  uint64_t at = 0;         // virtual nanos of the evaluation that flipped it
+  bool firing = false;     // true = entered violation, false = cleared
+  uint64_t observed = 0;   // nanos (p99), ppm (ratios), or absolute gap
+  uint64_t threshold = 0;
+};
+
+class SloMonitor {
+ public:
+  // `source` labels emitted audit events (e.g. "replica-0"); `console` may be
+  // null (transitions are still recorded locally).
+  SloMonitor(std::string source, AdministrationConsole* console)
+      : source_(std::move(source)), console_(console) {}
+
+  void AddRule(SloRule rule);
+
+  // Evaluates every rule against the window between `snapshot` and the
+  // previous call's snapshot (the first call establishes the baseline and
+  // only evaluates kMaxGap rules, which use cumulative values).
+  void Evaluate(const StatsSnapshot& snapshot, uint64_t virtual_now);
+
+  bool firing(const std::string& rule) const;
+  size_t firing_count() const;
+  const std::vector<SloTransition>& transitions() const { return transitions_; }
+  uint64_t evaluations() const { return evaluations_; }
+
+  // Deterministic one-line-per-transition rendering ("<nanos> ALERT|CLEAR
+  // <rule> observed=<x> threshold=<y>"), byte-diffable across runs.
+  std::string TransitionLog() const;
+
+ private:
+  struct RuleState {
+    SloRule rule;
+    bool firing = false;
+  };
+
+  void SetState(RuleState& state, bool firing, uint64_t observed, uint64_t now);
+
+  std::string source_;
+  AdministrationConsole* console_;
+  std::vector<RuleState> rules_;
+  StatsSnapshot previous_;
+  bool has_previous_ = false;
+  uint64_t evaluations_ = 0;
+  std::vector<SloTransition> transitions_;
+};
+
+}  // namespace dvm
+
+#endif  // SRC_SERVICES_SLO_MONITOR_H_

@@ -22,8 +22,16 @@ ControlDelivery ControlPlane::Send(size_t from, size_t to, uint64_t bytes, SimTi
   messages_++;
   const std::string& name = link_names_[from * replicas_ + to];
   if (faults_ != nullptr) {
-    // Partition check is pure: a cut link must not consume stream draws, or
-    // partition schedules would shift every later drop/delay decision.
+    // Outage and partition checks are pure: a dark host or cut link must not
+    // consume stream draws, or outage schedules would shift every later
+    // drop/delay decision. A replica inside its outage window can neither
+    // offer nor accept control messages — the 2PC layer already skips dark
+    // peers before sending, so this mostly guards unsolicited senders like
+    // the fleet metrics publisher.
+    if (!faults_->ReplicaUp(from, now) || !faults_->ReplicaUp(to, now)) {
+      dropped_++;
+      return {};
+    }
     if (!faults_->LinkUp(name, now)) {
       dropped_++;
       return {};

@@ -5,10 +5,12 @@
 // replica multicasts prepare / vote / commit messages to its peers.
 //
 // Fault integration is deliberately layered:
-//   1. LinkUp (pure, no stream draw) — scheduled partitions cut a link for a
-//      window of virtual time without shifting any RNG stream, so a test can
-//      partition exactly one control link and every other link's drop/delay
-//      trace stays byte-identical.
+//   1. ReplicaUp / LinkUp (pure, no stream draw) — a replica inside its
+//      scheduled outage window is off the mesh entirely (cannot send or
+//      receive), and scheduled partitions cut a link for a window of virtual
+//      time; neither shifts any RNG stream, so a test can partition exactly
+//      one control link and every other link's drop/delay trace stays
+//      byte-identical.
 //   2. ShouldDrop / ExtraDelay (seeded per-link streams) — probabilistic loss
 //      and jitter, recorded in the injector's trace fingerprint.
 // Messages on a link serialize FIFO through the underlying SimLink, so a

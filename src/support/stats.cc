@@ -190,6 +190,127 @@ double Histogram::Snapshot::Percentile(double p) const {
   return static_cast<double>(max);
 }
 
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  for (size_t i = 0; i < kBuckets; i++) {
+    counts[i] += other.counts[i];
+  }
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = count == 0 ? other.max : std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+Histogram::Snapshot Histogram::Snapshot::Delta(const Snapshot& earlier) const {
+  Snapshot out = *this;
+  for (size_t i = 0; i < kBuckets; i++) {
+    out.counts[i] -= std::min(out.counts[i], earlier.counts[i]);
+  }
+  out.count -= std::min(out.count, earlier.count);
+  out.sum -= std::min(out.sum, earlier.sum);
+  return out;
+}
+
+namespace {
+
+// Generic name-sorted-vector union/difference: both operands are sorted by
+// name (map iteration order), so a single linear merge suffices.
+template <typename V, typename Combine>
+std::vector<std::pair<std::string, V>> MergeSorted(
+    const std::vector<std::pair<std::string, V>>& a,
+    const std::vector<std::pair<std::string, V>>& b, Combine combine) {
+  std::vector<std::pair<std::string, V>> out;
+  out.reserve(a.size() + b.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].first < b[j].first)) {
+      out.push_back(a[i++]);
+    } else if (i == a.size() || b[j].first < a[i].first) {
+      out.push_back(b[j++]);
+    } else {
+      out.emplace_back(a[i].first, combine(a[i].second, b[j].second));
+      i++;
+      j++;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t StatsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+Histogram::Snapshot StatsSnapshot::HistogramFor(const std::string& name) const {
+  for (const auto& [n, snap] : histograms) {
+    if (n == name) {
+      return snap;
+    }
+  }
+  return Histogram::Snapshot{};
+}
+
+void StatsSnapshot::Merge(const StatsSnapshot& other) {
+  counters = MergeSorted(counters, other.counters,
+                         [](uint64_t a, uint64_t b) { return a + b; });
+  histograms = MergeSorted(histograms, other.histograms,
+                           [](const Histogram::Snapshot& a, const Histogram::Snapshot& b) {
+                             Histogram::Snapshot merged = a;
+                             merged.Merge(b);
+                             return merged;
+                           });
+}
+
+StatsSnapshot StatsSnapshot::Delta(const StatsSnapshot& earlier) const {
+  StatsSnapshot out;
+  out.counters.reserve(counters.size());
+  size_t j = 0;
+  for (const auto& [name, now] : counters) {
+    while (j < earlier.counters.size() && earlier.counters[j].first < name) {
+      j++;  // names only the earlier snapshot has contribute nothing
+    }
+    uint64_t then =
+        (j < earlier.counters.size() && earlier.counters[j].first == name)
+            ? earlier.counters[j].second
+            : 0;
+    out.counters.emplace_back(name, now - std::min(now, then));
+  }
+  out.histograms.reserve(histograms.size());
+  j = 0;
+  for (const auto& [name, now] : histograms) {
+    while (j < earlier.histograms.size() && earlier.histograms[j].first < name) {
+      j++;
+    }
+    if (j < earlier.histograms.size() && earlier.histograms[j].first == name) {
+      out.histograms.emplace_back(name, now.Delta(earlier.histograms[j].second));
+    } else {
+      out.histograms.emplace_back(name, now);
+    }
+  }
+  return out;
+}
+
+uint64_t StatsSnapshot::SerializedSize() const {
+  uint64_t bytes = 16;  // header: counter count + histogram count
+  for (const auto& [name, value] : counters) {
+    (void)value;
+    bytes += 4 + name.size() + 8;
+  }
+  for (const auto& [name, snap] : histograms) {
+    (void)snap;
+    bytes += 4 + name.size() + Histogram::kBuckets * 8 + 4 * 8;
+  }
+  return bytes;
+}
+
 StatCounter& StatsRegistry::Counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
@@ -239,6 +360,20 @@ std::vector<std::pair<std::string, Histogram::Snapshot>> StatsRegistry::Histogra
     out.emplace_back(name, histogram->TakeSnapshot());
   }
   return out;
+}
+
+StatsSnapshot StatsRegistry::FullSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StatsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->TakeSnapshot());
+  }
+  return snap;
 }
 
 void StatsRegistry::Reset() {

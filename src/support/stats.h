@@ -93,6 +93,16 @@ class Histogram {
     // clamped to the observed [min, max].
     double Percentile(double p) const;
     double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count); }
+
+    // Exact merge: bucket counts are additive, so merging two snapshots yields
+    // byte-identical state to recording both streams into one histogram. This
+    // is what lets per-replica histograms ship to the console and aggregate
+    // fleet-wide without approximation.
+    void Merge(const Snapshot& other);
+    // Per-bucket difference `this - earlier` for two snapshots of the same
+    // monotonically growing histogram (counts/count/sum subtract; min/max stay
+    // cumulative, Prometheus-style).
+    Snapshot Delta(const Snapshot& earlier) const;
   };
 
   void Record(uint64_t value);
@@ -114,6 +124,32 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+// A point-in-time copy of an entire StatsRegistry: name-sorted counters and
+// histogram snapshots. Serializable (for shipping over the control plane),
+// exactly mergeable (fleet aggregation), and differencable (burn-rate windows
+// for SLO monitors).
+struct StatsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+  // Counter value / histogram snapshot by name (0 / empty when absent).
+  uint64_t CounterValue(const std::string& name) const;
+  Histogram::Snapshot HistogramFor(const std::string& name) const;
+
+  // Exact union: counters add, histogram buckets add; names present in only
+  // one side carry through. Merge(a, b) == snapshot of a registry that
+  // recorded both streams.
+  void Merge(const StatsSnapshot& other);
+  // Windowed difference `this - earlier` for two snapshots of the same
+  // registry (counters and histogram buckets subtract, clamped at zero for
+  // names the earlier snapshot lacks; histogram min/max stay cumulative).
+  StatsSnapshot Delta(const StatsSnapshot& earlier) const;
+
+  // Wire size in bytes for control-plane byte accounting: name lengths plus
+  // 8 bytes per counter and the fixed histogram payload.
+  uint64_t SerializedSize() const;
+};
+
 // Registry of named counters. Counter() returns a reference that stays valid
 // for the registry's lifetime, so hot paths resolve a counter once and then
 // bump it lock-free; only creation and snapshotting take the registry mutex.
@@ -132,6 +168,9 @@ class StatsRegistry {
   Histogram::Snapshot HistogramSnapshot(const std::string& name) const;
   // Name-sorted view of every histogram.
   std::vector<std::pair<std::string, Histogram::Snapshot>> HistogramSnapshots() const;
+
+  // Consistent copy of every counter and histogram in one structure.
+  StatsSnapshot FullSnapshot() const;
 
   void Reset();
 

@@ -206,15 +206,20 @@ std::string ChromeTraceJson(const std::vector<Span>& spans,
 
 std::string PrometheusText(const StatsRegistry& stats,
                            const std::vector<std::pair<std::string, std::string>>& labels) {
+  return PrometheusText(stats.FullSnapshot(), labels);
+}
+
+std::string PrometheusText(const StatsSnapshot& snapshot,
+                           const std::vector<std::pair<std::string, std::string>>& labels) {
   std::string out;
   char buf[64];
-  for (const auto& [name, value] : stats.Snapshot()) {
+  for (const auto& [name, value] : snapshot.counters) {
     std::string metric = MetricName(name);
     out += "# TYPE " + metric + " counter\n";
     std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", value);
     out += metric + LabelBlock(labels) + buf;
   }
-  for (const auto& [name, snap] : stats.HistogramSnapshots()) {
+  for (const auto& [name, snap] : snapshot.histograms) {
     std::string metric = MetricName(name);
     out += "# TYPE " + metric + " histogram\n";
     uint64_t cumulative = 0;
@@ -234,6 +239,30 @@ std::string PrometheusText(const StatsRegistry& stats,
     out += metric + "_count" + LabelBlock(labels) + buf;
   }
   return out;
+}
+
+void BoundedSpanRing::Push(Span span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ingested_.fetch_add(1, std::memory_order_relaxed);
+  if (capacity_ == 0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring_.push_back(std::move(span));
+}
+
+std::vector<Span> BoundedSpanRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Span>(ring_.begin(), ring_.end());
+}
+
+size_t BoundedSpanRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
 }
 
 }  // namespace dvm

@@ -15,7 +15,10 @@
 #ifndef SRC_SUPPORT_TRACE_H_
 #define SRC_SUPPORT_TRACE_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -152,6 +155,67 @@ std::string ChromeTraceJson(const std::vector<Span>& spans,
 // holding the observed max.
 std::string PrometheusText(const StatsRegistry& stats,
                            const std::vector<std::pair<std::string, std::string>>& labels = {});
+
+// Same exposition over a detached snapshot — the form the console uses for
+// per-replica and fleet-merged exports. The registry overload delegates here,
+// so both produce byte-identical output for the same state.
+std::string PrometheusText(const StatsSnapshot& snapshot,
+                           const std::vector<std::pair<std::string, std::string>>& labels = {});
+
+// Fixed-capacity span ring: keeps the most recent `capacity` spans and counts
+// what it sheds, so a 10^6-client run ingests an unbounded span stream under a
+// bounded RSS ceiling. Mirrors the proxy's AuditRing.
+class BoundedSpanRing {
+ public:
+  explicit BoundedSpanRing(size_t capacity) : capacity_(capacity) {}
+
+  void Push(Span span);
+  // Ring contents ordered oldest-first (ingest order).
+  std::vector<Span> Snapshot() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  // Spans evicted to honor the cap, and total ever ingested.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t ingested() const { return ingested_.load(std::memory_order_relaxed); }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Span> ring_;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> ingested_{0};
+};
+
+// Deterministic head-based sampling: the keep/drop decision is a pure hash of
+// (seed, unit id), made once at the head of a request and inherited by every
+// span under it. Identical seeds sample identical units, so sampled traces
+// stay byte-reproducible; there is no RNG state to advance, so adding or
+// removing sampling cannot perturb any other random stream.
+class TraceSampler {
+ public:
+  // Samples ~1/`rate` units; rate 0 or 1 keeps everything.
+  TraceSampler(uint64_t seed, uint64_t rate) : seed_(seed), rate_(rate) {}
+
+  bool Keep(uint64_t unit_id) const {
+    if (rate_ <= 1) {
+      return true;
+    }
+    // splitmix64 finalizer over seed ^ id: uniform, cheap, stateless.
+    uint64_t x = seed_ ^ (unit_id * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x % rate_ == 0;
+  }
+
+  uint64_t rate() const { return rate_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t rate_;
+};
 
 }  // namespace dvm
 

@@ -1,0 +1,372 @@
+// Tests for the fleet observability plane (ISSUE 8): exact histogram and
+// registry-snapshot merge/delta algebra, the Prometheus export equivalence,
+// bounded span/log rings with drop accounting, deterministic head-based trace
+// sampling, edge-triggered SLO monitors, and the control-plane fleet metrics
+// publisher (including partition behavior: dropped snapshots leave the
+// console's old view in place).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/services/fleet_metrics.h"
+#include "src/services/monitor_service.h"
+#include "src/services/slo_monitor.h"
+#include "src/simnet/fault.h"
+#include "src/simnet/multicast.h"
+#include "src/support/stats.h"
+#include "src/support/trace.h"
+
+namespace dvm {
+namespace {
+
+// --- histogram merge / delta -------------------------------------------------
+
+TEST(HistogramMerge, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  for (uint64_t v = 1; v < 2000; v += 7) {
+    a.Record(v * 13);
+    combined.Record(v * 13);
+  }
+  for (uint64_t v = 1; v < 3000; v += 5) {
+    b.Record(v * 101);
+    combined.Record(v * 101);
+  }
+  Histogram::Snapshot merged = a.TakeSnapshot();
+  merged.Merge(b.TakeSnapshot());
+  Histogram::Snapshot expect = combined.TakeSnapshot();
+  EXPECT_EQ(merged.counts, expect.counts);
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_EQ(merged.sum, expect.sum);
+  EXPECT_EQ(merged.min, expect.min);
+  EXPECT_EQ(merged.max, expect.max);
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), expect.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramMerge, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.Record(42);
+  a.Record(4242);
+  Histogram::Snapshot snap = a.TakeSnapshot();
+  Histogram::Snapshot merged = snap;
+  merged.Merge(Histogram::Snapshot{});
+  EXPECT_EQ(merged.count, snap.count);
+  EXPECT_EQ(merged.min, snap.min);
+  EXPECT_EQ(merged.max, snap.max);
+
+  Histogram::Snapshot other;
+  other.Merge(snap);
+  EXPECT_EQ(other.count, snap.count);
+  EXPECT_EQ(other.min, snap.min);
+  EXPECT_EQ(other.sum, snap.sum);
+}
+
+TEST(HistogramMerge, DeltaIsTheWindow) {
+  Histogram h;
+  for (uint64_t v = 0; v < 100; v++) {
+    h.Record(1000 + v);
+  }
+  Histogram::Snapshot early = h.TakeSnapshot();
+  for (uint64_t v = 0; v < 50; v++) {
+    h.Record(900'000 + v);
+  }
+  Histogram::Snapshot window = h.TakeSnapshot().Delta(early);
+  EXPECT_EQ(window.count, 50u);
+  // Only the second batch is in the window, so its p50 reflects ~900k values.
+  EXPECT_GT(window.Percentile(50), 500'000.0);
+}
+
+// --- registry snapshot algebra ----------------------------------------------
+
+StatsSnapshot SnapOf(StatsRegistry& reg) { return reg.FullSnapshot(); }
+
+TEST(StatsSnapshot, MergeEqualsCombinedRegistry) {
+  StatsRegistry a, b, combined;
+  a.Counter("x.shared").Add(3);
+  a.Counter("y.only_a").Add(7);
+  b.Counter("x.shared").Add(5);
+  b.Counter("z.only_b").Add(11);
+  combined.Counter("x.shared").Add(8);
+  combined.Counter("y.only_a").Add(7);
+  combined.Counter("z.only_b").Add(11);
+  a.Histo("lat.a").Record(100);
+  b.Histo("lat.a").Record(900);
+  combined.Histo("lat.a").Record(100);
+  combined.Histo("lat.a").Record(900);
+
+  StatsSnapshot merged = SnapOf(a);
+  merged.Merge(SnapOf(b));
+  StatsSnapshot expect = SnapOf(combined);
+  ASSERT_EQ(merged.counters.size(), expect.counters.size());
+  for (size_t i = 0; i < merged.counters.size(); i++) {
+    EXPECT_EQ(merged.counters[i], expect.counters[i]) << i;
+  }
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.HistogramFor("lat.a").count, 2u);
+  EXPECT_EQ(merged.HistogramFor("lat.a").sum, 1000u);
+}
+
+TEST(StatsSnapshot, DeltaWindows) {
+  StatsRegistry reg;
+  reg.Counter("reqs").Add(10);
+  reg.Histo("lat").Record(5);
+  StatsSnapshot early = SnapOf(reg);
+  reg.Counter("reqs").Add(4);
+  reg.Counter("errs").Add(2);  // born after the early snapshot
+  reg.Histo("lat").Record(50);
+  StatsSnapshot window = SnapOf(reg).Delta(early);
+  EXPECT_EQ(window.CounterValue("reqs"), 4u);
+  EXPECT_EQ(window.CounterValue("errs"), 2u);
+  EXPECT_EQ(window.HistogramFor("lat").count, 1u);
+}
+
+TEST(StatsSnapshot, PrometheusOverloadsAgree) {
+  StatsRegistry reg;
+  reg.Counter("proxy.rewrites").Add(9);
+  reg.Histo("proxy.request_cpu_nanos").Record(1234);
+  reg.Histo("proxy.request_cpu_nanos").Record(56789);
+  std::vector<std::pair<std::string, std::string>> labels = {{"replica", "0"}};
+  EXPECT_EQ(PrometheusText(reg, labels), PrometheusText(reg.FullSnapshot(), labels));
+}
+
+TEST(StatsSnapshot, SerializedSizeGrowsWithContent) {
+  StatsSnapshot empty;
+  StatsSnapshot one;
+  one.counters.emplace_back("a", 1);
+  StatsSnapshot histo = one;
+  histo.histograms.emplace_back("h", Histogram::Snapshot{});
+  EXPECT_LT(empty.SerializedSize(), one.SerializedSize());
+  EXPECT_LT(one.SerializedSize(), histo.SerializedSize());
+}
+
+// --- bounded rings and sampling ---------------------------------------------
+
+Span MakeSpan(uint64_t id) {
+  Span span;
+  span.id = id;
+  span.name = "fetch";
+  span.start_nanos = id * 10;
+  span.end_nanos = id * 10 + 5;
+  return span;
+}
+
+TEST(BoundedSpanRing, CapsAndCountsDrops) {
+  BoundedSpanRing ring(4);
+  for (uint64_t i = 0; i < 10; i++) {
+    ring.Push(MakeSpan(i));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.ingested(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  std::vector<Span> kept = ring.Snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  // Oldest first, most recent window retained.
+  EXPECT_EQ(kept.front().id, 6u);
+  EXPECT_EQ(kept.back().id, 9u);
+}
+
+TEST(BoundedSpanRing, ZeroCapacityDropsEverything) {
+  BoundedSpanRing ring(0);
+  ring.Push(MakeSpan(1));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(TraceSampler, DeterministicAndRateBounded) {
+  TraceSampler keep_all(7, 1);
+  TraceSampler sampler(7, 64);
+  TraceSampler same(7, 64);
+  TraceSampler other_seed(8, 64);
+  size_t kept = 0, agree = 0, differ = 0;
+  for (uint64_t id = 0; id < 100'000; id++) {
+    EXPECT_TRUE(keep_all.Keep(id));
+    bool k = sampler.Keep(id);
+    kept += k ? 1 : 0;
+    agree += k == same.Keep(id) ? 1 : 0;
+    differ += k != other_seed.Keep(id) ? 1 : 0;
+  }
+  EXPECT_EQ(agree, 100'000u);          // same seed ⇒ identical decisions
+  EXPECT_GT(differ, 0u);               // seed actually matters
+  EXPECT_GT(kept, 100'000u / 64 / 2);  // ~1/64 within loose 2x bounds
+  EXPECT_LT(kept, 100'000u / 64 * 2);
+}
+
+TEST(AdministrationConsole, AuditLogRingCapsWithDropStats) {
+  AdministrationConsole console(/*log_capacity=*/8, /*span_capacity=*/2);
+  for (uint64_t i = 0; i < 20; i++) {
+    AuditEvent event;
+    event.sequence = i;
+    event.kind = "enter";
+    console.Append(std::move(event));
+  }
+  EXPECT_EQ(console.log().size(), 8u);
+  EXPECT_EQ(console.events_received(), 20u);
+  EXPECT_EQ(console.events_dropped(), 12u);
+  EXPECT_EQ(console.log().front().sequence, 12u);
+
+  for (uint64_t i = 0; i < 5; i++) {
+    console.RecordSpan(MakeSpan(i));
+  }
+  EXPECT_EQ(console.trace_spans().size(), 2u);
+  EXPECT_EQ(console.spans_ingested(), 5u);
+  EXPECT_EQ(console.spans_dropped(), 3u);
+}
+
+// --- fleet metrics sink -------------------------------------------------------
+
+TEST(FleetMetrics, ConsoleMergesLatestPerReplica) {
+  AdministrationConsole console;
+  StatsSnapshot r0, r1, r1_new;
+  r0.counters.emplace_back("reqs", 10);
+  r1.counters.emplace_back("reqs", 5);
+  r1_new.counters.emplace_back("reqs", 9);
+  console.IngestReplicaSnapshot(0, 100, 100, r0);
+  console.IngestReplicaSnapshot(1, 100, 110, r1);
+  console.IngestReplicaSnapshot(1, 200, 210, r1_new);  // newer: replaces
+  EXPECT_EQ(console.snapshots_ingested(), 3u);
+  EXPECT_EQ(console.FleetMerged().CounterValue("reqs"), 19u);
+  EXPECT_EQ(console.FleetPrometheus(),
+            PrometheusText(console.FleetMerged(), {{"scope", "fleet"}}));
+  std::string divergence = console.DivergenceView();
+  EXPECT_NE(divergence.find("reqs"), std::string::npos);
+  EXPECT_NE(divergence.find("spread="), std::string::npos);
+}
+
+TEST(FleetMetrics, PublisherDirectWithoutPlane) {
+  AdministrationConsole console;
+  FleetMetricsPublisher publisher(nullptr, &console);
+  StatsRegistry stats;
+  stats.Counter("reqs").Add(3);
+  EXPECT_TRUE(publisher.Publish(2, stats, 1000));
+  EXPECT_EQ(publisher.delivered(), 1u);
+  EXPECT_EQ(publisher.dropped(), 0u);
+  EXPECT_EQ(console.FleetMerged().CounterValue("reqs"), 3u);
+}
+
+TEST(FleetMetrics, PartitionDropsSnapshotAndConsoleKeepsOldView) {
+  ControlPlane plane(3);
+  FaultPlan fault_plan;
+  fault_plan.links[ControlPlane::LinkName(1, 0)].outages.push_back(
+      {2 * kSecond, 10 * kSecond});
+  FaultInjector injector(fault_plan);
+  plane.SetFaultInjector(&injector);
+  AdministrationConsole console;
+  FleetMetricsPublisher publisher(&plane, &console);
+
+  StatsRegistry stats;
+  stats.Counter("reqs").Add(7);
+  ASSERT_TRUE(publisher.Publish(1, stats, 1 * kSecond));
+  EXPECT_EQ(console.FleetMerged().CounterValue("reqs"), 7u);
+  EXPECT_GT(publisher.bytes_shipped(), 0u);
+
+  stats.Counter("reqs").Add(100);
+  EXPECT_FALSE(publisher.Publish(1, stats, 5 * kSecond));  // inside the window
+  EXPECT_EQ(publisher.dropped(), 1u);
+  // The console still serves the pre-partition view — divergence, not loss.
+  EXPECT_EQ(console.FleetMerged().CounterValue("reqs"), 7u);
+
+  EXPECT_TRUE(publisher.Publish(1, stats, 11 * kSecond));
+  EXPECT_EQ(console.FleetMerged().CounterValue("reqs"), 107u);
+}
+
+// --- SLO monitor --------------------------------------------------------------
+
+StatsSnapshot RatioSnap(uint64_t ok, uint64_t total) {
+  StatsSnapshot snap;
+  snap.counters.emplace_back("ok", ok);
+  snap.counters.emplace_back("total", total);
+  return snap;
+}
+
+TEST(SloMonitor, MinSuccessEdgeTriggered) {
+  AdministrationConsole console;
+  SloMonitor monitor("test", &console);
+  monitor.AddRule(MinSuccessRule("success", "ok", "total", /*min_ppm=*/990'000,
+                                 /*min_events=*/10));
+  monitor.Evaluate(RatioSnap(0, 0), 100);          // baseline window
+  monitor.Evaluate(RatioSnap(100, 100), 200);      // healthy
+  EXPECT_FALSE(monitor.firing("success"));
+  monitor.Evaluate(RatioSnap(150, 200), 300);      // 50% window: fire
+  EXPECT_TRUE(monitor.firing("success"));
+  monitor.Evaluate(RatioSnap(160, 220), 400);      // still burning: no re-fire
+  EXPECT_TRUE(monitor.firing("success"));
+  monitor.Evaluate(RatioSnap(260, 320), 500);      // recovered: clear
+  EXPECT_FALSE(monitor.firing("success"));
+
+  ASSERT_EQ(monitor.transitions().size(), 2u);
+  EXPECT_TRUE(monitor.transitions()[0].firing);
+  EXPECT_EQ(monitor.transitions()[0].at, 300u);
+  EXPECT_FALSE(monitor.transitions()[1].firing);
+  EXPECT_EQ(monitor.transitions()[1].at, 500u);
+
+  // One audit event per transition, typed.
+  size_t alerts = 0, clears = 0;
+  for (const auto& event : console.log()) {
+    alerts += event.kind == "slo-alert" ? 1 : 0;
+    clears += event.kind == "slo-clear" ? 1 : 0;
+  }
+  EXPECT_EQ(alerts, 1u);
+  EXPECT_EQ(clears, 1u);
+}
+
+TEST(SloMonitor, P99CeilingOnWindowedHistogram) {
+  SloMonitor monitor("test", nullptr);
+  monitor.AddRule(P99CeilingRule("p99", "lat", /*ceiling=*/10'000, /*min_events=*/10));
+  StatsRegistry reg;
+  Histogram& lat = reg.Histo("lat");
+  for (int i = 0; i < 100; i++) {
+    lat.Record(1000);
+  }
+  monitor.Evaluate(reg.FullSnapshot(), 100);  // baseline
+  for (int i = 0; i < 100; i++) {
+    lat.Record(1000);
+  }
+  monitor.Evaluate(reg.FullSnapshot(), 200);
+  EXPECT_FALSE(monitor.firing("p99"));
+  for (int i = 0; i < 100; i++) {
+    lat.Record(500'000);  // tail blows through the ceiling in this window
+  }
+  monitor.Evaluate(reg.FullSnapshot(), 300);
+  EXPECT_TRUE(monitor.firing("p99"));
+  for (int i = 0; i < 100; i++) {
+    lat.Record(1000);
+  }
+  monitor.Evaluate(reg.FullSnapshot(), 400);
+  EXPECT_FALSE(monitor.firing("p99"));  // cumulative stats would never clear
+}
+
+TEST(SloMonitor, MaxGapIsCumulative) {
+  SloMonitor monitor("test", nullptr);
+  monitor.AddRule(MaxGapRule("staleness", "applied", "committed", /*max_gap=*/0));
+  StatsSnapshot snap;
+  snap.counters.emplace_back("applied", 3);
+  snap.counters.emplace_back("committed", 3);
+  monitor.Evaluate(snap, 100);  // fires on the very first evaluation if stale
+  EXPECT_FALSE(monitor.firing("staleness"));
+  snap.counters[1].second = 4;
+  monitor.Evaluate(snap, 200);
+  EXPECT_TRUE(monitor.firing("staleness"));
+  snap.counters[0].second = 4;
+  monitor.Evaluate(snap, 300);
+  EXPECT_FALSE(monitor.firing("staleness"));
+}
+
+TEST(SloMonitor, TransitionLogDeterministic) {
+  auto drive = [](SloMonitor& monitor) {
+    monitor.Evaluate(RatioSnap(0, 0), 1000);
+    monitor.Evaluate(RatioSnap(50, 100), 2000);
+    monitor.Evaluate(RatioSnap(150, 200), 3000);
+  };
+  SloMonitor a("a", nullptr), b("b", nullptr);
+  a.AddRule(MinSuccessRule("success", "ok", "total", 990'000, 10));
+  b.AddRule(MinSuccessRule("success", "ok", "total", 990'000, 10));
+  drive(a);
+  drive(b);
+  EXPECT_FALSE(a.TransitionLog().empty());
+  EXPECT_EQ(a.TransitionLog(), b.TransitionLog());
+}
+
+}  // namespace
+}  // namespace dvm

@@ -1,0 +1,223 @@
+// Tests for the continuous interpreter profiling plane (ISSUE 8): always-on
+// method/backedge/inline-cache counters, megamorphic-site detection, and the
+// virtual-clock sampling profiler — including the load-bearing determinism
+// property: the same guest program produces byte-identical collapsed-stack and
+// pprof exports under the quickened engine and the reference engine, because
+// samples trigger on the engine-invariant virtual clock.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/bytecode/builder.h"
+#include "src/runtime/machine.h"
+#include "src/runtime/profile.h"
+#include "src/runtime/syslib.h"
+
+namespace dvm {
+namespace {
+
+constexpr int kLoopIterations = 20'000;
+
+// loopy()I — tight counted loop (the backedge + sampling workhorse) that
+// calls a monomorphic virtual per 8 iterations so stacks have depth.
+void InstallWorkload(MapClassProvider& provider) {
+  ClassBuilder node("prof/Node", "java/lang/Object");
+  node.AddField(AccessFlags::kPublic, "value", "I");
+  node.AddDefaultConstructor();
+  MethodBuilder& step = node.AddMethod(AccessFlags::kPublic, "step", "(I)I");
+  step.LoadLocal("I", 1).PushInt(3).Emit(Op::kIadd);
+  step.LoadLocal("L", 0).GetField("prof/Node", "value", "I").Emit(Op::kIxor);
+  step.Emit(Op::kIreturn);
+  provider.AddClassFile(node.Build().value());
+
+  ClassBuilder cb("prof/Main", "java/lang/Object");
+  MethodBuilder& m = cb.AddMethod(AccessFlags::kStatic, "loopy", "()I");
+  Label loop = m.NewLabel(), done = m.NewLabel();
+  m.New("prof/Node").Emit(Op::kDup).InvokeSpecial("prof/Node", "<init>", "()V");
+  m.StoreLocal("L", 0);
+  m.PushInt(0).StoreLocal("I", 1);  // s
+  m.PushInt(0).StoreLocal("I", 2);  // i
+  m.Bind(loop);
+  m.LoadLocal("I", 2).PushInt(kLoopIterations).Branch(Op::kIfIcmpge, done);
+  m.LoadLocal("L", 0).LoadLocal("I", 1);
+  m.InvokeVirtual("prof/Node", "step", "(I)I").StoreLocal("I", 1);
+  m.Emit(Op::kIinc, 2, 1).Branch(Op::kGoto, loop);
+  m.Bind(done).LoadLocal("I", 1).Emit(Op::kIreturn);
+  provider.AddClassFile(cb.Build().value());
+}
+
+// A call site that sees five receiver classes: megamorphic by any threshold.
+void InstallPolymorphic(MapClassProvider& provider) {
+  ClassBuilder base("poly/Base", "java/lang/Object");
+  base.AddDefaultConstructor();
+  MethodBuilder& step = base.AddMethod(AccessFlags::kPublic, "step", "()I");
+  step.PushInt(0).Emit(Op::kIreturn);
+  provider.AddClassFile(base.Build().value());
+  for (int i = 0; i < 5; i++) {
+    std::string name = "poly/Sub" + std::to_string(i);
+    ClassBuilder sub(name, "poly/Base");
+    sub.AddDefaultConstructor();
+    MethodBuilder& impl = sub.AddMethod(AccessFlags::kPublic, "step", "()I");
+    impl.PushInt(i + 1).Emit(Op::kIreturn);
+    provider.AddClassFile(sub.Build().value());
+  }
+  ClassBuilder cb("poly/Main", "java/lang/Object");
+  MethodBuilder& call = cb.AddMethod(AccessFlags::kStatic, "call", "(Lpoly/Base;)I");
+  call.LoadLocal("L", 0).InvokeVirtual("poly/Base", "step", "()I").Emit(Op::kIreturn);
+  MethodBuilder& run = cb.AddMethod(AccessFlags::kStatic, "run", "()I");
+  run.PushInt(0).StoreLocal("I", 0);
+  for (int i = 0; i < 5; i++) {
+    std::string name = "poly/Sub" + std::to_string(i);
+    run.New(name).Emit(Op::kDup).InvokeSpecial(name, "<init>", "()V");
+    run.InvokeStatic("poly/Main", "call", "(Lpoly/Base;)I");
+    run.LoadLocal("I", 0).Emit(Op::kIadd).StoreLocal("I", 0);
+  }
+  run.LoadLocal("I", 0).Emit(Op::kIreturn);
+  provider.AddClassFile(cb.Build().value());
+}
+
+const MethodProfileRow* FindRow(const std::vector<MethodProfileRow>& rows,
+                                const std::string& prefix) {
+  for (const auto& row : rows) {
+    if (row.method.rfind(prefix, 0) == 0) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+TEST(ProfileCounters, InvocationsAndBackedges) {
+  for (bool quicken : {true, false}) {
+    MapClassProvider provider;
+    InstallSystemLibrary(provider);
+    InstallWorkload(provider);
+    MachineConfig config;
+    config.quicken = quicken;
+    Machine machine(config, &provider);
+    auto run = machine.CallStatic("prof/Main", "loopy", "()I");
+    ASSERT_TRUE(run.ok() && !run->threw) << "quicken=" << quicken;
+
+    auto rows = CollectMethodProfile(machine.registry());
+    const MethodProfileRow* loopy = FindRow(rows, "prof/Main.loopy");
+    const MethodProfileRow* step = FindRow(rows, "prof/Node.step");
+    ASSERT_NE(loopy, nullptr);
+    ASSERT_NE(step, nullptr);
+    EXPECT_EQ(loopy->invocations, 1u) << "quicken=" << quicken;
+    EXPECT_EQ(loopy->backedges, static_cast<uint64_t>(kLoopIterations));
+    EXPECT_EQ(step->invocations, static_cast<uint64_t>(kLoopIterations));
+    // Monomorphic site: one cold miss, then hits all the way.
+    EXPECT_EQ(loopy->ic_misses, 1u) << "quicken=" << quicken;
+    EXPECT_EQ(loopy->ic_hits, static_cast<uint64_t>(kLoopIterations) - 1);
+    EXPECT_EQ(loopy->megamorphic_sites, 0u);
+  }
+}
+
+TEST(ProfileCounters, MegamorphicSiteDetected) {
+  MapClassProvider provider;
+  InstallSystemLibrary(provider);
+  InstallPolymorphic(provider);
+  Machine machine(MachineConfig{}, &provider);
+  auto run = machine.CallStatic("poly/Main", "run", "()I");
+  ASSERT_TRUE(run.ok() && !run->threw);
+  EXPECT_EQ(run->value.num, 1 + 2 + 3 + 4 + 5);
+
+  auto rows = CollectMethodProfile(machine.registry());
+  const MethodProfileRow* call = FindRow(rows, "poly/Main.call");
+  ASSERT_NE(call, nullptr);
+  // Five receivers through one site: every dispatch misses after the first
+  // install, and the receiver transitions cross the megamorphic threshold.
+  EXPECT_EQ(call->invocations, 5u);
+  EXPECT_GE(call->megamorphic_sites, 1u);
+  EXPECT_EQ(call->ic_hits, 0u);
+}
+
+TEST(ProfileCounters, TableRendersHotMethodsFirst) {
+  MapClassProvider provider;
+  InstallSystemLibrary(provider);
+  InstallWorkload(provider);
+  Machine machine(MachineConfig{}, &provider);
+  ASSERT_TRUE(machine.CallStatic("prof/Main", "loopy", "()I").ok());
+  auto rows = CollectMethodProfile(machine.registry());
+  ASSERT_GE(rows.size(), 2u);
+  // Sorted by invocations descending: the 20k-call step leads.
+  EXPECT_EQ(rows[0].method.rfind("prof/Node.step", 0), 0u);
+  std::string table = MethodProfileTable(rows, 5);
+  EXPECT_NE(table.find("prof/Node.step"), std::string::npos);
+  EXPECT_NE(table.find("invocations"), std::string::npos);
+}
+
+struct ProfiledRun {
+  std::string collapsed;
+  std::string pprof;
+  uint64_t samples = 0;
+  uint64_t virtual_nanos = 0;
+  int64_t result = 0;
+};
+
+ProfiledRun RunProfiled(bool quicken) {
+  MapClassProvider provider;
+  InstallSystemLibrary(provider);
+  InstallWorkload(provider);
+  MachineConfig config;
+  config.quicken = quicken;
+  Machine machine(config, &provider);
+  ExecutionProfiler profiler;
+  machine.SetProfiler(&profiler);
+  auto run = machine.CallStatic("prof/Main", "loopy", "()I");
+  EXPECT_TRUE(run.ok() && !run->threw);
+  ProfiledRun out;
+  out.collapsed = profiler.CollapsedStacks();
+  out.pprof = profiler.PprofText();
+  out.samples = profiler.samples();
+  out.virtual_nanos = machine.virtual_nanos();
+  out.result = run.ok() ? run->value.num : -1;
+  return out;
+}
+
+TEST(ProfileSampling, ByteIdenticalAcrossEngines) {
+  ProfiledRun quick = RunProfiled(/*quicken=*/true);
+  ProfiledRun reference = RunProfiled(/*quicken=*/false);
+  EXPECT_GT(quick.samples, 0u);
+  EXPECT_EQ(quick.result, reference.result);
+  // The virtual clock is engine-invariant, samples trigger on it, and exports
+  // sort deterministically — so the profile bytes cannot differ.
+  EXPECT_EQ(quick.virtual_nanos, reference.virtual_nanos);
+  EXPECT_EQ(quick.samples, reference.samples);
+  EXPECT_EQ(quick.collapsed, reference.collapsed);
+  EXPECT_EQ(quick.pprof, reference.pprof);
+}
+
+TEST(ProfileSampling, RepeatRunsAreByteIdentical) {
+  ProfiledRun a = RunProfiled(/*quicken=*/true);
+  ProfiledRun b = RunProfiled(/*quicken=*/true);
+  EXPECT_EQ(a.collapsed, b.collapsed);
+  EXPECT_EQ(a.pprof, b.pprof);
+}
+
+TEST(ProfileSampling, StacksShowCallerAndLeaf) {
+  ProfiledRun run = RunProfiled(/*quicken=*/true);
+  // The loop body spends most virtual time in loopy itself and in step with
+  // loopy as caller; both stacks must appear, root-first, semicolon-joined.
+  EXPECT_NE(run.collapsed.find("prof/Main.loopy"), std::string::npos);
+  EXPECT_NE(run.collapsed.find("prof/Main.loopy;prof/Node.step"), std::string::npos);
+  EXPECT_NE(run.pprof.find("period_nanos:"), std::string::npos);
+  EXPECT_NE(run.pprof.find("ppm"), std::string::npos);
+}
+
+TEST(ProfileSampling, ResetClearsState) {
+  MapClassProvider provider;
+  InstallSystemLibrary(provider);
+  InstallWorkload(provider);
+  Machine machine(MachineConfig{}, &provider);
+  ExecutionProfiler profiler;
+  machine.SetProfiler(&profiler);
+  ASSERT_TRUE(machine.CallStatic("prof/Main", "loopy", "()I").ok());
+  EXPECT_GT(profiler.samples(), 0u);
+  profiler.Reset();
+  EXPECT_EQ(profiler.samples(), 0u);
+  EXPECT_TRUE(profiler.CollapsedStacks().empty());
+}
+
+}  // namespace
+}  // namespace dvm
