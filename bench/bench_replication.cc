@@ -32,9 +32,11 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/bytecode/serializer.h"
 #include "src/dvm/redirect_client.h"
 #include "src/dvm/replication.h"
 #include "src/runtime/syslib.h"
+#include "src/verifier/verifier.h"
 #include "src/services/fleet_metrics.h"
 #include "src/services/slo_monitor.h"
 #include "src/services/verify_service.h"
@@ -91,6 +93,16 @@ struct RunOutcome {
   bool artifacts_identical = true;
   bool epochs_equal = true;
   bool logs_equal = true;
+  // Proof-carrying artifacts (replicated mode only): every pushed commit
+  // record must carry a certificate, every install must proof-check, and the
+  // lagger's one-pass replay validation must beat re-running the full
+  // verifier over the same artifacts (measured in discrete checks).
+  bool certs_on_every_artifact = true;
+  uint64_t cert_validations = 0;
+  uint64_t cert_rejects = 0;
+  uint64_t cert_missing = 0;
+  uint64_t lagger_validate_checks = 0;
+  uint64_t reverify_checks = 0;
   uint64_t control_fingerprint = 0;
   uint64_t trace_fingerprint = 0;
   // Fleet observability (replicated mode only): the console's merged
@@ -292,6 +304,48 @@ RunOutcome Run(Scenario& s, const Options& opt, bool replicated,
                                    got->epoch == reference->epoch;
       }
     }
+
+    // Certificate plane accounting. The lagger proof-checked every artifact
+    // it installed — the warm pushes live, the missed suffix during replay —
+    // which is exactly the set of kArtifact records in the cluster log, so
+    // re-running the full verifier over those same records prices what the
+    // replay would have cost without certificates.
+    for (size_t i = 0; i < cluster.size(); i++) {
+      out.cert_validations += cluster.replica(i).stats().Value("proxy.cert_validations");
+      out.cert_rejects += cluster.replica(i).stats().Value("proxy.cert_rejects");
+      out.cert_missing += cluster.replica(i).stats().Value("proxy.cert_missing");
+    }
+    out.lagger_validate_checks =
+        cluster.replica(kLagger).stats().Value("proxy.cert_validate_checks");
+    for (const CommitRecord& record : repl->cluster_log().records()) {
+      if (record.type != CommitRecordType::kArtifact) {
+        continue;
+      }
+      out.certs_on_every_artifact &= !record.certificate.empty();
+      auto main = ReadClassFile(record.main_class);
+      if (!main.ok()) {
+        out.certs_on_every_artifact = false;
+        continue;
+      }
+      std::vector<ClassFile> companions;
+      companions.reserve(record.extra_classes.size());
+      for (const auto& [name, bytes] : record.extra_classes) {
+        auto parsed = ReadClassFile(bytes);
+        if (parsed.ok()) {
+          companions.push_back(std::move(parsed).value());
+        }
+      }
+      MapClassEnv artifact_env;
+      for (const ClassFile& companion : companions) {
+        artifact_env.Add(&companion);
+      }
+      artifact_env.Add(&main.value());
+      ChainedClassEnv reverify_env(&artifact_env, s.env);
+      auto reverified = VerifyClass(main.value(), reverify_env);
+      if (reverified.ok()) {
+        out.reverify_checks += reverified->stats.TotalStaticChecks();
+      }
+    }
   }
   return out;
 }
@@ -366,6 +420,10 @@ int main(int argc, char** argv) {
               base.total_rewrites, base.postrejoin_rewrites, base.stale_serves);
   std::printf("control_fingerprint=%016" PRIx64 " trace_fingerprint=%016" PRIx64 "\n",
               repl.control_fingerprint, repl.trace_fingerprint);
+  std::printf("certificates: validations=%" PRIu64 " rejects=%" PRIu64 " missing=%" PRIu64
+              " lagger_validate_checks=%" PRIu64 " reverify_checks=%" PRIu64 "\n",
+              repl.cert_validations, repl.cert_rejects, repl.cert_missing,
+              repl.lagger_validate_checks, repl.reverify_checks);
   std::printf("fleet: snapshots=%" PRIu64 " dropped_in_partition=%" PRIu64 "\n",
               repl.snapshots_published, repl.snapshots_dropped);
   std::printf("slo transitions (virtual nanos):\n%s", repl.slo_log.c_str());
@@ -389,6 +447,14 @@ int main(int argc, char** argv) {
                  base.postrejoin_rewrites > 0);
   ok &= Gate("replication does fewer total rewrites than flush-and-recompute",
              repl.total_rewrites < base.total_rewrites);
+  ok &= Gate("every pushed artifact carries a verification certificate",
+             repl.certs_on_every_artifact);
+  ok &= Gate("every replicated install proof-checked (0 rejects, 0 missing)",
+             repl.cert_validations > 0 && repl.cert_rejects == 0 &&
+                 repl.cert_missing == 0);
+  ok &= Gate("one-pass replay validation beats full re-verification",
+             repl.lagger_validate_checks > 0 &&
+                 repl.lagger_validate_checks < repl.reverify_checks);
   ok &= Gate("fleet-merged Prometheus equals merge of per-replica snapshots",
              repl.fleet_merge_ok);
   ok &= Gate("partition drops snapshots (console keeps the stale view)",

@@ -3,6 +3,7 @@
 #include "src/bytecode/builder.h"
 #include "src/bytecode/serializer.h"
 #include "src/runtime/syslib.h"
+#include "src/verifier/certificate.h"
 
 namespace dvm {
 namespace fuzz {
@@ -219,6 +220,113 @@ Bytes MutateClassBytes(const Bytes& data, Rng& rng) {
     }
   }
   return MutateRaw(data, rng);
+}
+
+namespace {
+
+// Picks a method certificate that actually has assertions, or nullptr.
+MethodCertificate* AssertedMethod(ClassCertificate& cert, Rng& rng) {
+  std::vector<MethodCertificate*> candidates;
+  for (MethodCertificate& m : cert.methods) {
+    if (!m.assertions.empty()) {
+      candidates.push_back(&m);
+    }
+  }
+  if (candidates.empty()) {
+    return nullptr;
+  }
+  return candidates[rng.Below(static_cast<uint32_t>(candidates.size()))];
+}
+
+// Tampers with one frame slot. Widening to Top looks sound (every edge frame
+// still fits) — only the validator's exact-join check can reject it, which is
+// exactly what this mutation probes.
+void PerturbSlot(VType& slot, Rng& rng) {
+  switch (rng.Below(4)) {
+    case 0:
+      slot = VType::Top();
+      break;
+    case 1:
+      slot = slot.kind == VType::Kind::kInt ? VType::Long() : VType::Int();
+      break;
+    case 2:
+      slot = VType::Ref(slot.kind == VType::Kind::kRef ? slot.name + "X" : "java/lang/Object");
+      break;
+    default:
+      slot = VType::Null();
+      break;
+  }
+}
+
+}  // namespace
+
+Bytes MutateCertificateBytes(const Bytes& cert, Rng& rng) {
+  if (rng.Below(4) != 0) {
+    auto parsed = ParseCertificate(cert);
+    if (parsed.ok()) {
+      ClassCertificate c = std::move(parsed).value();
+      MethodCertificate* m = AssertedMethod(c, rng);
+      switch (rng.Below(8)) {
+        case 0:
+          c.class_name += "X";
+          break;
+        case 1:  // shift an assertion to a neighboring pc
+          if (m != nullptr) {
+            FrameAssertion& a = m->assertions[rng.Below(static_cast<uint32_t>(m->assertions.size()))];
+            a.index = rng.Coin() ? a.index + 1 : (a.index > 0 ? a.index - 1 : a.index + 2);
+          }
+          break;
+        case 2:  // tamper a locals slot
+          if (m != nullptr) {
+            Frame& f = m->assertions[rng.Below(static_cast<uint32_t>(m->assertions.size()))].frame;
+            if (!f.locals.empty()) {
+              PerturbSlot(f.locals[rng.Below(static_cast<uint32_t>(f.locals.size()))], rng);
+            }
+          }
+          break;
+        case 3:  // tamper a stack slot, or fake a deeper stack
+          if (m != nullptr) {
+            Frame& f = m->assertions[rng.Below(static_cast<uint32_t>(m->assertions.size()))].frame;
+            if (!f.stack.empty() && rng.Coin()) {
+              PerturbSlot(f.stack[rng.Below(static_cast<uint32_t>(f.stack.size()))], rng);
+            } else {
+              f.stack.push_back(VType::Int());
+            }
+          }
+          break;
+        case 4:  // drop an assertion (an edge then lands on a bare pc)
+          if (m != nullptr) {
+            m->assertions.erase(m->assertions.begin() +
+                                rng.Below(static_cast<uint32_t>(m->assertions.size())));
+          }
+          break;
+        case 5:  // invent an assertion at an unasserted pc
+          if (m != nullptr) {
+            FrameAssertion extra = m->assertions.back();
+            extra.index += 1 + rng.Below(3);
+            m->assertions.push_back(std::move(extra));
+          }
+          break;
+        case 6:  // drop or duplicate a link-time assumption
+          if (!c.assumptions.empty()) {
+            size_t index = rng.Below(static_cast<uint32_t>(c.assumptions.size()));
+            if (rng.Coin()) {
+              c.assumptions.erase(c.assumptions.begin() + static_cast<long>(index));
+            } else {
+              c.assumptions.push_back(c.assumptions[index]);
+            }
+          }
+          break;
+        default:  // retarget an assumption (phase-4 would check the wrong class)
+          if (!c.assumptions.empty()) {
+            c.assumptions[rng.Below(static_cast<uint32_t>(c.assumptions.size()))].target_class += "X";
+          }
+          break;
+      }
+      return SerializeCertificate(c);
+    }
+  }
+  return MutateRaw(cert, rng);
 }
 
 std::vector<Bytes> BuiltinSeeds() {

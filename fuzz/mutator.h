@@ -41,6 +41,16 @@ class Rng {
 // class file; raw byte-level otherwise. Never returns an empty vector.
 Bytes MutateClassBytes(const Bytes& data, Rng& rng);
 
+// Produces one mutant of a serialized verification certificate
+// (verifier/certificate.h). Structure-aware when the input parses: it tampers
+// with the places the proof's soundness lives — assertion indices, frame slot
+// types (including sound-looking widenings that only the validator's
+// exactness check can catch), dropped/duplicated assertions, and the
+// assumption list — and falls back to raw byte mutations otherwise. May
+// return bytes equal to the input when the drawn mutation is a no-op; callers
+// wanting guaranteed-different mutants should compare and redraw.
+Bytes MutateCertificateBytes(const Bytes& cert, Rng& rng);
+
 // Seed inputs available without any corpus on disk: the serialized system
 // library plus a small builder-assembled application class. Used by the
 // standalone driver when no corpus directory is supplied and by `dvm_fuzz gen`.

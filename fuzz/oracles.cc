@@ -3,12 +3,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "fuzz/mutator.h"
 #include "src/bytecode/descriptor.h"
 #include "src/bytecode/serializer.h"
 #include "src/rewrite/filter.h"
 #include "src/runtime/machine.h"
 #include "src/runtime/syslib.h"
 #include "src/services/verify_service.h"
+#include "src/support/hash.h"
+#include "src/verifier/certificate.h"
 #include "src/verifier/verifier.h"
 
 namespace dvm {
@@ -193,6 +196,75 @@ std::string CheckDifferential(const Bytes& data) {
   return "";
 }
 
+std::string CheckCertificate(const Bytes& data) {
+  auto parsed = ReadClassFile(data);
+  if (!parsed.ok()) {
+    return "";  // fail-closed
+  }
+  const ClassFile& cls = parsed.value();
+
+  // The class verifies against ITSELF plus the system library — the same
+  // environment the proxy's certificate plane uses. (The old syslib-only
+  // environment is why self-referential hierarchies never reached the
+  // resolution walks; see the cyclic_super regression.)
+  MapClassEnv self_env;
+  self_env.Add(&cls);
+  ChainedClassEnv env(&self_env, &GetSyslib().env);
+
+  ClassCertificate cert;
+  auto verified = VerifyClass(cls, env, &cert);
+  if (!verified.ok()) {
+    return "";  // rejected classes carry no proof; nothing to differentiate
+  }
+
+  Bytes wire = SerializeCertificate(cert);
+  auto reparsed = ParseCertificate(wire);
+  if (!reparsed.ok()) {
+    return "emitted certificate failed to re-parse: " + reparsed.error().ToString();
+  }
+  if (SerializeCertificate(reparsed.value()) != wire) {
+    return "certificate round-trip is not byte-identical";
+  }
+  if (!(reparsed.value() == cert)) {
+    return "certificate round-trip changed content";
+  }
+
+  // Differential: the one-pass validator must agree with the fixpoint.
+  ValidateStats stats;
+  auto validated = ValidateCertificate(cls, env, reparsed.value(), &stats);
+  if (!validated.ok()) {
+    return "validator rejected the verifier's own certificate for " + cls.name() + ": " +
+           validated.error().ToString();
+  }
+
+  // Adversary: deterministic structure-aware mutants, every one rejected.
+  // (A mutant may parse back to semantically identical content — e.g. a slot
+  // "widened" to what it already was — so acceptance is a violation only when
+  // the content actually differs.)
+  Rng rng(Fnv1a(wire.data(), wire.size()));
+  int distinct = 0;
+  for (int attempt = 0; attempt < 64 && distinct < 8; attempt++) {
+    Bytes mutant = MutateCertificateBytes(wire, rng);
+    if (mutant == wire) {
+      continue;
+    }
+    distinct++;
+    auto mparsed = ParseCertificate(mutant);
+    if (!mparsed.ok()) {
+      continue;  // rejected at parse — fail-closed
+    }
+    if (mparsed.value() == cert) {
+      continue;  // differently encoded but same content cannot be detected
+    }
+    ValidateStats mstats;
+    if (ValidateCertificate(cls, env, mparsed.value(), &mstats).ok()) {
+      return "validator accepted a tampered certificate for " + cls.name() +
+             " (mutation attempt " + std::to_string(attempt) + ")";
+    }
+  }
+  return "";
+}
+
 std::string CheckAll(const Bytes& data) {
   std::string v = CheckRoundTrip(data);
   if (v.empty()) {
@@ -200,6 +272,9 @@ std::string CheckAll(const Bytes& data) {
   }
   if (v.empty()) {
     v = CheckDifferential(data);
+  }
+  if (v.empty()) {
+    v = CheckCertificate(data);
   }
   return v;
 }

@@ -41,7 +41,18 @@ std::string CheckRewritePipeline(const Bytes& data);
 // the interpreter cannot execute safely.
 std::string CheckDifferential(const Bytes& data);
 
-// All three in sequence; first violation wins.
+// Certificate oracle, the PR-9 adversary. For a class the verifier ACCEPTS
+// (against itself + the system library): the emitted certificate must
+// round-trip byte-identically, the one-pass validator must accept it (the
+// validator-vs-verifier differential — both sides share one abstract
+// interpreter, and this oracle holds them to identical verdicts), and a
+// deterministic battery of structure-aware certificate mutants must every one
+// be rejected (at parse or at validation). Violations: emission that the
+// emitter's own validator rejects, round-trip drift, or a tampered
+// certificate that validates.
+std::string CheckCertificate(const Bytes& data);
+
+// All four in sequence; first violation wins.
 std::string CheckAll(const Bytes& data);
 
 // fprintf + abort on a non-empty violation message (fuzzer crash signal).

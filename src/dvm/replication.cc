@@ -215,6 +215,9 @@ RoundResult ReplicationCoordinator::ReplicateArtifact(size_t source,
   record.class_name = class_name;
   record.main_class = std::move(cached->main_class);
   record.extra_classes = std::move(cached->extra_classes);
+  // The proof travels with the artifact: receivers validate in one pass
+  // instead of trusting the push (or re-running the fixpoint).
+  record.certificate = std::move(cached->certificate);
   RoundResult round = RunRound(source, std::move(record), now,
                                /*apply_at_coordinator=*/false);
   round.epoch = committed_epoch_;

@@ -16,7 +16,7 @@ RewriteCache::RewriteCache(size_t capacity_bytes, size_t num_shards) {
 }
 
 size_t RewriteCache::SizeOf(const CachedClass& value) {
-  size_t bytes = value.main_class.size();
+  size_t bytes = value.main_class.size() + value.certificate.size();
   for (const auto& [name, data] : value.extra_classes) {
     bytes += name.size() + data.size();
   }

@@ -33,6 +33,11 @@ struct CachedClass {
   // Security-policy epoch the rewrite ran under. Responses carry it so a
   // client (and the replication layer) can prove an artifact is current.
   uint64_t epoch = 0;
+  // Serialized verification certificate (verifier/certificate.h) for the
+  // rewritten main class, emitted by the verify filter's fixpoint. Empty when
+  // certificate emission failed or the pipeline ran without the verifier;
+  // replicas receiving the artifact then fall back to full re-verification.
+  Bytes certificate;
 };
 
 class RewriteCache {

@@ -8,7 +8,7 @@ uint64_t CommitRecordBytes(const CommitRecord& record) {
   // sequence + type + epoch headers, then keys and payload.
   uint64_t bytes = 8 + 1 + 8;
   bytes += record.cache_key.size() + record.class_name.size();
-  bytes += record.main_class.size();
+  bytes += record.main_class.size() + record.certificate.size();
   for (const auto& [name, data] : record.extra_classes) {
     bytes += name.size() + data.size();
   }
@@ -32,6 +32,7 @@ uint64_t CommitLog::Digest() const {
     fold(Fnv1a(record.cache_key));
     fold(Fnv1a(record.class_name));
     fold(Fnv1a(record.main_class.data(), record.main_class.size()));
+    fold(Fnv1a(record.certificate.data(), record.certificate.size()));
     for (const auto& [name, data] : record.extra_classes) {
       fold(Fnv1a(name));
       fold(Fnv1a(data.data(), data.size()));

@@ -35,6 +35,11 @@ struct CommitRecord {
   std::string class_name;
   Bytes main_class;
   std::vector<std::pair<std::string, Bytes>> extra_classes;
+  // Serialized verification certificate for main_class (certificate.h). A
+  // receiving replica validates the artifact against it in one pass instead of
+  // re-running the phase-3 fixpoint; empty means "no proof attached" and the
+  // install is accepted on the pusher's authority, as before certificates.
+  Bytes certificate;
 };
 
 // Wire size of a record when it travels in a 2PC prepare message: headers plus

@@ -2,6 +2,8 @@
 
 #include "src/bytecode/serializer.h"
 #include "src/runtime/syslib.h"
+#include "src/verifier/certificate.h"
+#include "src/verifier/verifier.h"
 
 namespace dvm {
 
@@ -69,6 +71,7 @@ size_t AuditRing::size() const {
 DvmProxy::DvmProxy(ProxyConfig config, const ClassEnv* library_env, ClassProvider* origin)
     : config_(config),
       env_(library_env),
+      library_env_(library_env),
       origin_(origin),
       pipeline_(&env_),
       cache_(config.cache_capacity_bytes, config.cache_shards),
@@ -84,6 +87,13 @@ DvmProxy::DvmProxy(ProxyConfig config, const ClassEnv* library_env, ClassProvide
       c_generated_hits_(stats_.Counter("proxy.generated_hits")),
       c_lock_acquisitions_(stats_.Counter("proxy.lock_acquisitions")),
       c_stale_rewrite_skips_(stats_.Counter("proxy.stale_rewrite_skips")),
+      c_cert_emits_(stats_.Counter("proxy.cert_emits")),
+      c_cert_emit_checks_(stats_.Counter("proxy.cert_emit_checks")),
+      c_cert_emit_failures_(stats_.Counter("proxy.cert_emit_failures")),
+      c_cert_validations_(stats_.Counter("proxy.cert_validations")),
+      c_cert_validate_checks_(stats_.Counter("proxy.cert_validate_checks")),
+      c_cert_rejects_(stats_.Counter("proxy.cert_rejects")),
+      c_cert_missing_(stats_.Counter("proxy.cert_missing")),
       h_request_cpu_nanos_(stats_.Histo("proxy.request_cpu_nanos")) {
   env_.SetLockCounter(&c_lock_acquisitions_);
 }
@@ -247,6 +257,12 @@ Result<ProxyResponse> DvmProxy::Rewrite(RequestContext& ctx) {
     entry.main_class = response.data;
     entry.extra_classes = response.extra_classes;
     entry.epoch = epoch;
+    // Prove the artifact once here so replicas receiving it over the
+    // replication push never re-run the fixpoint. Certificate work is real
+    // CPU on the fleet but is deliberately not charged to the virtual CPU
+    // model: the Figure 8/10 calibration predates certificates and the
+    // counters (cert_emits / cert_emit_checks) carry the cost signal.
+    entry.certificate = EmitCertificate(response.data, response.extra_classes);
     cache_.Put(ctx.cache_key, std::move(entry));
   }
   if (served_observer_) {
@@ -316,6 +332,90 @@ void DvmProxy::ApplyPolicyEpoch(uint64_t epoch) {
   policy_epoch_.store(epoch, std::memory_order_release);
 }
 
+Bytes DvmProxy::EmitCertificate(const Bytes& main_bytes,
+                                const std::vector<std::pair<std::string, Bytes>>& extras) {
+  auto fail = [this]() -> Bytes {
+    c_cert_emit_failures_.Add();
+    return {};
+  };
+  Result<ClassFile> main = ReadClassFile(main_bytes);
+  if (!main.ok()) {
+    return fail();
+  }
+  std::vector<ClassFile> companions;
+  companions.reserve(extras.size());
+  for (const auto& [name, data] : extras) {
+    Result<ClassFile> parsed = ReadClassFile(data);
+    if (!parsed.ok()) {
+      return fail();
+    }
+    companions.push_back(std::move(parsed.value()));
+  }
+  // The artifact is verified against itself plus the trusted library ONLY —
+  // never env_'s incidental history — so a replica that validates the
+  // certificate with the same library reaches the same verdict.
+  MapClassEnv artifact_env;
+  for (const ClassFile& c : companions) {
+    artifact_env.Add(&c);
+  }
+  artifact_env.Add(&main.value());
+  ChainedClassEnv cert_env(&artifact_env, library_env_);
+
+  ClassCertificate cert;
+  Result<VerifiedClass> verified = VerifyClass(main.value(), cert_env, &cert);
+  if (!verified.ok()) {
+    return fail();  // e.g. a filter emitted something the verifier rejects
+  }
+  Bytes cert_bytes = SerializeCertificate(cert);
+
+  // Self-validate before the proof leaves the proxy: the transfer function is
+  // not monotone on every opcode (aaload on null vs. a typed array), so a
+  // fixpoint frame can in rare shapes exceed the one-pass join. Shipping such
+  // a certificate would make honest replicas reject a good artifact; degrade
+  // to "no certificate" instead and let them re-verify.
+  Result<ClassCertificate> reparsed = ParseCertificate(cert_bytes);
+  ValidateStats self_check;
+  if (!reparsed.ok() ||
+      !ValidateCertificate(main.value(), cert_env, reparsed.value(), &self_check).ok()) {
+    return fail();
+  }
+  c_cert_emits_.Add();
+  c_cert_emit_checks_.Add(verified.value().stats.TotalStaticChecks());
+  return cert_bytes;
+}
+
+bool DvmProxy::ValidatePushedArtifact(const CommitRecord& record) {
+  Result<ClassCertificate> cert = ParseCertificate(record.certificate);
+  if (!cert.ok()) {
+    return false;
+  }
+  Result<ClassFile> main = ReadClassFile(record.main_class);
+  if (!main.ok()) {
+    return false;
+  }
+  std::vector<ClassFile> companions;
+  companions.reserve(record.extra_classes.size());
+  for (const auto& [name, data] : record.extra_classes) {
+    Result<ClassFile> parsed = ReadClassFile(data);
+    if (!parsed.ok()) {
+      return false;
+    }
+    companions.push_back(std::move(parsed.value()));
+  }
+  // Mirror of EmitCertificate's environment: artifact over trusted library.
+  MapClassEnv artifact_env;
+  for (const ClassFile& c : companions) {
+    artifact_env.Add(&c);
+  }
+  artifact_env.Add(&main.value());
+  ChainedClassEnv cert_env(&artifact_env, library_env_);
+
+  ValidateStats stats;
+  bool ok = ValidateCertificate(main.value(), cert_env, cert.value(), &stats).ok();
+  c_cert_validate_checks_.Add(stats.TotalChecks());
+  return ok;
+}
+
 void DvmProxy::ApplyCommitRecord(const CommitRecord& record) {
   if (record.type == CommitRecordType::kEpoch) {
     ApplyPolicyEpoch(record.epoch);
@@ -325,6 +425,19 @@ void DvmProxy::ApplyCommitRecord(const CommitRecord& record) {
   // (and signer), so they land directly in the shared structures. Replay
   // applies records in log order, so an artifact is always installed after
   // the epoch record it was rewritten under.
+  //
+  // With a certificate attached, installing is conditional on the one-pass
+  // proof check; a pushed artifact whose certificate does not prove it is
+  // dropped fail-closed before touching any shared structure.
+  if (record.certificate.empty()) {
+    c_cert_missing_.Add();
+  } else if (ValidatePushedArtifact(record)) {
+    c_cert_validations_.Add();
+  } else {
+    c_cert_rejects_.Add();
+    audit_.Push("REPL-REJECT " + record.class_name);
+    return;
+  }
   if (!record.extra_classes.empty()) {
     c_lock_acquisitions_.Add();
     std::lock_guard<std::mutex> lock(generated_mu_);
@@ -337,6 +450,9 @@ void DvmProxy::ApplyCommitRecord(const CommitRecord& record) {
     entry.main_class = record.main_class;
     entry.extra_classes = record.extra_classes;
     entry.epoch = record.epoch;
+    // Keep the proof with the installed artifact: if this replica later
+    // re-pushes the entry, the receiver can validate it too.
+    entry.certificate = record.certificate;
     cache_.Put(record.cache_key, std::move(entry));
   }
   replicated_installs_.fetch_add(1, std::memory_order_relaxed);

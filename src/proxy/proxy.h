@@ -199,6 +199,12 @@ class DvmProxy {
   // into the rewrite cache and the synthesized-class map without running the
   // pipeline. In-order replay of a peer's log converges the replica to
   // byte-identical state.
+  //
+  // An artifact carrying a verification certificate is validated against it
+  // in one pass (certificate.h) before installing; a certificate that does
+  // not prove the pushed bytes is rejected fail-closed (no install, counted
+  // in proxy.cert_rejects, audited as REPL-REJECT). Certificate-less
+  // artifacts install on the pusher's authority as before.
   void ApplyCommitRecord(const CommitRecord& record);
 
   // Artifacts installed via ApplyCommitRecord (pushed or replayed), as
@@ -217,8 +223,12 @@ class DvmProxy {
   uint64_t coalesced_requests() const { return flights_.coalesced_waits(); }
   // Named counters: proxy.{connection,parse,filter,emit,sign}_nanos,
   // proxy.coalesced, proxy.rewrites, proxy.generated_hits,
-  // proxy.lock_acquisitions (audit + generated + env + pipeline locks); plus
-  // the proxy.request_cpu_nanos histogram (per-request CPU, p50/p99/max).
+  // proxy.lock_acquisitions (audit + generated + env + pipeline locks); the
+  // certificate plane: proxy.cert_emits / cert_emit_checks /
+  // cert_emit_failures (fixpoint side) and proxy.cert_validations /
+  // cert_validate_checks / cert_rejects / cert_missing (one-pass install
+  // side); plus the proxy.request_cpu_nanos histogram (per-request CPU,
+  // p50/p99/max).
   const StatsRegistry& stats() const { return stats_; }
 
   // Memory in use with `inflight` concurrent requests: cache + per-request
@@ -252,12 +262,25 @@ class DvmProxy {
   // The miss path: fetch origin bytes, parse, run the stacked services, emit,
   // sign, publish synthesized classes, and populate the cache.
   Result<ProxyResponse> Rewrite(RequestContext& ctx);
+  // Runs the full verifier over the final artifact (main + companions against
+  // the system library) and serializes its stack-map certificate. The emitted
+  // certificate is self-validated before leaving the proxy; any failure —
+  // including the rare fixpoint frame a one-pass join cannot reproduce —
+  // degrades to "no certificate" (empty return) rather than a bad proof.
+  Bytes EmitCertificate(const Bytes& main_bytes,
+                        const std::vector<std::pair<std::string, Bytes>>& extras);
+  // One-pass check of a pushed artifact against its certificate.
+  bool ValidatePushedArtifact(const CommitRecord& record);
   // Commits accounting (stage counters, audit ring, CPU totals) and stamps
   // the context's flags onto the response.
   ProxyResponse Commit(RequestContext& ctx, ProxyResponse response);
 
   ProxyConfig config_;
   SeenEnv env_;
+  // The trusted library alone (no proxy-seen classes): certificates are
+  // emitted and validated against artifact + library only, so every replica
+  // reaches the same verdict regardless of what it happened to parse first.
+  const ClassEnv* library_env_;
   ClassProvider* origin_;
   FilterPipeline pipeline_;
   RewriteCache cache_;
@@ -296,6 +319,13 @@ class DvmProxy {
   StatCounter& c_generated_hits_;
   StatCounter& c_lock_acquisitions_;
   StatCounter& c_stale_rewrite_skips_;
+  StatCounter& c_cert_emits_;
+  StatCounter& c_cert_emit_checks_;
+  StatCounter& c_cert_emit_failures_;
+  StatCounter& c_cert_validations_;
+  StatCounter& c_cert_validate_checks_;
+  StatCounter& c_cert_rejects_;
+  StatCounter& c_cert_missing_;
   Histogram& h_request_cpu_nanos_;
 };
 

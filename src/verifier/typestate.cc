@@ -1,5 +1,8 @@
 #include "src/verifier/typestate.h"
 
+#include <algorithm>
+#include <set>
+
 #include "src/bytecode/descriptor.h"
 
 namespace dvm {
@@ -9,9 +12,16 @@ constexpr const char* kObject = "java/lang/Object";
 
 // Ancestor chain of `cls` within env (including cls itself), stopping at the
 // first unknown class. Returns whether the walk ended at an unknown class.
+// Hostile hierarchies can cycle (A extends B extends A); the visited set ends
+// the walk there — everything reachable is already in the chain — so a
+// malicious class cannot spin the proxy forever.
 bool CollectChain(const std::string& cls, const ClassEnv& env, std::vector<std::string>* out) {
+  std::set<std::string> visited;
   std::string current = cls;
   while (true) {
+    if (!visited.insert(current).second) {
+      return false;  // hierarchy cycle
+    }
     out->push_back(current);
     if (current == kObject) {
       return false;
@@ -28,10 +38,14 @@ bool CollectChain(const std::string& cls, const ClassEnv& env, std::vector<std::
   }
 }
 
-bool ImplementsInterface(const std::string& cls, const std::string& iface, const ClassEnv& env,
-                         bool* hit_unknown) {
+bool ImplementsInterfaceImpl(const std::string& cls, const std::string& iface,
+                             const ClassEnv& env, bool* hit_unknown,
+                             std::set<std::string>* visited) {
   std::string current = cls;
   while (true) {
+    if (!visited->insert(current).second) {
+      return false;  // hierarchy cycle — this class was already explored
+    }
     const ClassFile* file = env.Lookup(current);
     if (file == nullptr) {
       *hit_unknown = true;
@@ -47,7 +61,7 @@ bool ImplementsInterface(const std::string& cls, const std::string& iface, const
         // recurse through the named interface if it is known.
         bool sub_unknown = false;
         if (env.IsKnown(name.value()) &&
-            ImplementsInterface(name.value(), iface, env, &sub_unknown)) {
+            ImplementsInterfaceImpl(name.value(), iface, env, &sub_unknown, visited)) {
           return true;
         }
         *hit_unknown |= sub_unknown;
@@ -59,6 +73,12 @@ bool ImplementsInterface(const std::string& cls, const std::string& iface, const
     }
     current = super;
   }
+}
+
+bool ImplementsInterface(const std::string& cls, const std::string& iface, const ClassEnv& env,
+                         bool* hit_unknown) {
+  std::set<std::string> visited;
+  return ImplementsInterfaceImpl(cls, iface, env, hit_unknown, &visited);
 }
 
 }  // namespace
@@ -161,17 +181,38 @@ VType MergeTypes(const VType& a, const VType& b, const ClassEnv& env) {
       // Array/array or array/class merges generalize to Object unless equal.
       return VType::Ref(kObject);
     }
-    // Common ancestor within the known environment; unknown edges widen to Object.
+    // Common ancestor within the known environment; unknown edges widen to
+    // Object. The candidate is chosen symmetrically — minimize the deeper of
+    // the two chain positions, then the shallower, then the name — because a
+    // "first hit in chain_a order" scan made Merge(a,b) != Merge(b,a) on
+    // degenerate hierarchies whose chains are rotations of each other. On
+    // acyclic single inheritance the common entries form a shared suffix of
+    // both chains, so this picks the same junction the old scan did.
     std::vector<std::string> chain_a;
     CollectChain(a.name, env, &chain_a);
     std::vector<std::string> chain_b;
     CollectChain(b.name, env, &chain_b);
-    for (const auto& ca : chain_a) {
-      for (const auto& cb : chain_b) {
-        if (ca == cb) {
-          return VType::Ref(ca);
+    const std::string* best = nullptr;
+    size_t best_deep = 0;
+    size_t best_shallow = 0;
+    for (size_t i = 0; i < chain_a.size(); i++) {
+      for (size_t j = 0; j < chain_b.size(); j++) {
+        if (chain_a[i] != chain_b[j]) {
+          continue;
+        }
+        size_t deep = std::max(i, j);
+        size_t shallow = std::min(i, j);
+        if (best == nullptr || deep < best_deep ||
+            (deep == best_deep && shallow < best_shallow) ||
+            (deep == best_deep && shallow == best_shallow && chain_a[i] < *best)) {
+          best = &chain_a[i];
+          best_deep = deep;
+          best_shallow = shallow;
         }
       }
+    }
+    if (best != nullptr) {
+      return VType::Ref(*best);
     }
     return VType::Ref(kObject);
   }
@@ -199,19 +240,24 @@ std::string Frame::ToString() const {
 
 void MergeFrames(Frame& into, const Frame& from, const ClassEnv& env, bool* changed) {
   *changed = false;
-  // Stack depths must match for code accepted by phase 3; a mismatch surfaces
-  // as Top entries that fail the next use-check.
-  if (into.stack.size() != from.stack.size()) {
-    into.stack.assign(into.stack.size(), VType::Top());
-    *changed = true;
-    return;
-  }
   for (size_t i = 0; i < into.locals.size(); i++) {
     VType merged = MergeTypes(into.locals[i], from.locals[i], env);
     if (!(merged == into.locals[i])) {
       into.locals[i] = merged;
       *changed = true;
     }
+  }
+  // Stack depths must match for code accepted by phase 3; a mismatch surfaces
+  // as Top entries that fail the next use-check. The locals above still merge
+  // — the old early return dropped them, leaving the merge asymmetric.
+  if (into.stack.size() != from.stack.size()) {
+    for (auto& entry : into.stack) {
+      if (!(entry == VType::Top())) {
+        entry = VType::Top();
+        *changed = true;
+      }
+    }
+    return;
   }
   for (size_t i = 0; i < into.stack.size(); i++) {
     VType merged = MergeTypes(into.stack[i], from.stack[i], env);
@@ -220,6 +266,27 @@ void MergeFrames(Frame& into, const Frame& from, const ClassEnv& env, bool* chan
       *changed = true;
     }
   }
+}
+
+bool FitsInto(const VType& a, const VType& b, const ClassEnv& env) {
+  return MergeTypes(a, b, env) == b;
+}
+
+bool FrameFits(const Frame& a, const Frame& b, const ClassEnv& env) {
+  if (a.locals.size() != b.locals.size() || a.stack.size() != b.stack.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.locals.size(); i++) {
+    if (!FitsInto(a.locals[i], b.locals[i], env)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.stack.size(); i++) {
+    if (!FitsInto(a.stack[i], b.stack[i], env)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace dvm

@@ -65,7 +65,13 @@ Assignability IsAssignable(const VType& src, const std::string& dst_class, const
 
 // Least upper bound of two reference types in `env`; unknown hierarchy merges
 // to java/lang/Object (safe: uses are re-checked by IsAssignable).
+// Commutative: Merge(a, b) == Merge(b, a), even on degenerate (cyclic)
+// hierarchies — the certificate validator's shadow joins rely on it.
 VType MergeTypes(const VType& a, const VType& b, const ClassEnv& env);
+
+// a ⊑ b in the merge lattice: merging `a` into `b` leaves `b` unchanged. The
+// one-pass certificate validator uses this instead of re-running the fixpoint.
+bool FitsInto(const VType& a, const VType& b, const ClassEnv& env);
 
 // Abstract machine state at one instruction.
 struct Frame {
@@ -78,6 +84,10 @@ struct Frame {
 
 // Pointwise merge. Sets *changed when the result differs from `into`.
 void MergeFrames(Frame& into, const Frame& from, const ClassEnv& env, bool* changed);
+
+// Pointwise ⊑: same shape, every slot of `a` fits into the matching slot of
+// `b`. A frame that fits an asserted merge-point frame may safely adopt it.
+bool FrameFits(const Frame& a, const Frame& b, const ClassEnv& env);
 
 }  // namespace dvm
 

@@ -44,10 +44,20 @@ struct VerifiedClass {
   std::vector<Assumption> assumptions;
 };
 
+struct ClassCertificate;  // certificate.h
+
 // Runs phases 1-3. A returned error means the class is provably unsafe; the
 // verification service converts that into a replacement class raising a guest
 // VerifyError (services/verify_service.h).
-Result<VerifiedClass> VerifyClass(const ClassFile& cls, const ClassEnv& env);
+//
+// When `cert_out` is non-null and the class is accepted, it is filled with a
+// stack-map-style certificate: the fixpoint typestate frame at every merge
+// point (branch targets, exception-handler entries) plus the class's
+// link-time assumptions. A replica holding the certificate can re-check the
+// class in one linear pass (certificate.h) instead of re-running this
+// fixpoint.
+Result<VerifiedClass> VerifyClass(const ClassFile& cls, const ClassEnv& env,
+                                  ClassCertificate* cert_out = nullptr);
 
 }  // namespace dvm
 

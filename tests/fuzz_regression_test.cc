@@ -19,6 +19,8 @@
 #include "src/runtime/machine.h"
 #include "src/runtime/syslib.h"
 #include "src/services/verify_service.h"
+#include "src/verifier/class_env.h"
+#include "src/verifier/verifier.h"
 
 namespace dvm {
 namespace {
@@ -32,9 +34,9 @@ Bytes ReadFileBytes(const std::filesystem::path& path) {
   return Bytes(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
 }
 
-// Every minimized crasher in the corpus must be handled cleanly by all three
-// oracles: round-trip, rewrite totality/idempotence, and the differential
-// verifier↔interpreter check.
+// Every minimized crasher in the corpus must be handled cleanly by all four
+// oracles: round-trip, rewrite totality/idempotence, the differential
+// verifier↔interpreter check, and the certificate emit/validate/mutate check.
 TEST(FuzzCorpus, CorpusIsClean) {
   std::filesystem::path dir(DVM_CORPUS_DIR);
   ASSERT_TRUE(std::filesystem::is_directory(dir)) << "missing corpus dir " << dir;
@@ -48,8 +50,79 @@ TEST(FuzzCorpus, CorpusIsClean) {
     EXPECT_TRUE(violation.empty()) << entry.path().filename() << ": " << violation;
     count++;
   }
-  EXPECT_GE(count, 13u) << "corpus unexpectedly small — regenerate with "
+  EXPECT_GE(count, 17u) << "corpus unexpectedly small — regenerate with "
                            "`dvm_fuzz gen-regressions tests/corpus`";
+}
+
+// Loads a checked-in corpus input and verifies it against itself plus the
+// system library — the environment the proxy's certificate plane uses, which
+// is where the verifier bugs below were reachable.
+class VerifierBugCrop : public ::testing::Test {
+ protected:
+  VerifierBugCrop() : library_(BuildSystemLibrary()) {
+    for (const ClassFile& cls : library_) {
+      lib_env_.Add(&cls);
+    }
+  }
+
+  Result<VerifiedClass> VerifyCorpusInput(const char* name) {
+    Bytes data = ReadFileBytes(std::filesystem::path(DVM_CORPUS_DIR) / name);
+    auto parsed = ReadClassFile(data);
+    if (!parsed.ok()) {
+      return parsed.error();
+    }
+    cls_ = std::move(parsed).value();
+    MapClassEnv self_env;
+    self_env.Add(&cls_);
+    ChainedClassEnv env(&self_env, &lib_env_);
+    return VerifyClass(cls_, env);
+  }
+
+  std::vector<ClassFile> library_;
+  MapClassEnv lib_env_;
+  ClassFile cls_;
+};
+
+// A pc reachable normally with an empty stack and as a handler entry with the
+// thrown reference: the merge conflict used to be swallowed by a (void) cast
+// on the handler-edge merge and the class was accepted. Found by the
+// validator-vs-verifier differential oracle.
+TEST_F(VerifierBugCrop, HandlerEntryMergeConflictIsRejected) {
+  auto result = VerifyCorpusInput("handler_stack_mismatch.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kVerifyError);
+  EXPECT_NE(result.error().message.find("inconsistent stack depth"), std::string::npos)
+      << result.error().message;
+}
+
+// A handler in a max_stack=0 method: the entry frame's thrown reference used
+// to be pushed without consulting the declared budget.
+TEST_F(VerifierBugCrop, HandlerNeedsStackRoomForThrownReference) {
+  auto result = VerifyCorpusInput("handler_overflow.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kVerifyError);
+  EXPECT_NE(result.error().message.find("max_stack=0"), std::string::npos)
+      << result.error().message;
+}
+
+// evil/E extends evil/E: every superclass-chain walk (assignability, field and
+// method resolution, certificate merge joins) used to spin forever on the
+// cycle. The assertion here is simply that verification *returns*.
+TEST_F(VerifierBugCrop, CyclicHierarchyTerminates) {
+  auto result = VerifyCorpusInput("cyclic_super_athrow.bin");
+  // Verdict is environment-dependent (the cycle widens merges to assumptions);
+  // termination without a hang or a crash is the regression being pinned.
+  (void)result;
+}
+
+// catch_type = java/lang/String: the catch class was never checked assignable
+// to Throwable, accepting handlers exception dispatch can never enter.
+TEST_F(VerifierBugCrop, CatchTypeMustBeThrowable) {
+  auto result = VerifyCorpusInput("catch_nonthrowable.bin");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kVerifyError);
+  EXPECT_NE(result.error().message.find("non-throwable"), std::string::npos)
+      << result.error().message;
 }
 
 class FuzzRegressionTest : public ::testing::Test {

@@ -439,6 +439,89 @@ TEST_F(VerifierTest, AssignabilityAnswers) {
   EXPECT_EQ(IsAssignable(VType::Ref("[I"), "[I", lib_.env()), Assignability::kYes);
 }
 
+// The certificate validator's shadow joins fold incoming edges in whatever
+// order the forward walk produces them, while the fixpoint folds them in
+// worklist order — identical results require MergeTypes to be commutative.
+// The old deep/shallow candidate selection depended on argument order on
+// degenerate (cyclic) hierarchies.
+TEST_F(VerifierTest, MergeTypesIsCommutative) {
+  ClassBuilder a("app/CycA", "app/CycB");
+  ClassFile cls_a = MustBuild(a);
+  ClassBuilder b("app/CycB", "app/CycA");
+  ClassFile cls_b = MustBuild(b);
+  ClassBuilder c("app/Leaf", "app/CycA");
+  ClassFile cls_c = MustBuild(c);
+  MapClassEnv env = lib_.env();
+  env.Add(&cls_a);
+  env.Add(&cls_b);
+  env.Add(&cls_c);
+
+  const VType samples[] = {
+      VType::Top(),           VType::Int(),
+      VType::Long(),          VType::Null(),
+      VType::Ref("app/CycA"), VType::Ref("app/CycB"),
+      VType::Ref("app/Leaf"), VType::Ref("java/lang/Object"),
+      VType::Ref("no/Such"),  VType::Uninit("app/CycA", 3),
+  };
+  for (const VType& x : samples) {
+    for (const VType& y : samples) {
+      // Must terminate on the cycle, and must not depend on argument order.
+      EXPECT_EQ(MergeTypes(x, y, env), MergeTypes(y, x, env))
+          << x.ToString() << " vs " << y.ToString();
+    }
+  }
+}
+
+// An inconsistent stack depth at a merge point must still merge the LOCALS —
+// the old early return skipped them, so the verdict depended on which edge
+// the worklist happened to process first (found by the certificate
+// differential oracle).
+TEST_F(VerifierTest, MergeFramesMergesLocalsOnStackDepthMismatch) {
+  MapClassEnv env;
+  Frame into;
+  into.locals = {VType::Int()};
+  into.stack = {VType::Int()};
+  Frame from;
+  from.locals = {VType::Ref("x/Y")};
+  from.stack = {};
+
+  bool changed = false;
+  MergeFrames(into, from, env, &changed);
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(into.locals[0], VType::Top());  // Int ⊔ Ref, no longer dropped
+  // The depth conflict itself surfaces as Top entries that fail the next use.
+  ASSERT_EQ(into.stack.size(), 1u);
+  EXPECT_EQ(into.stack[0], VType::Top());
+}
+
+// FitsInto is the validator's ⊑: a ⊑ b iff merging a into b leaves b fixed.
+TEST_F(VerifierTest, FitsIntoMatchesMergeLattice) {
+  ClassBuilder a("app/A", "java/lang/Object");
+  ClassFile cls_a = MustBuild(a);
+  ClassBuilder b("app/B", "app/A");
+  ClassFile cls_b = MustBuild(b);
+  MapClassEnv env = lib_.env();
+  env.Add(&cls_a);
+  env.Add(&cls_b);
+
+  EXPECT_TRUE(FitsInto(VType::Ref("app/B"), VType::Ref("app/A"), env));
+  EXPECT_FALSE(FitsInto(VType::Ref("app/A"), VType::Ref("app/B"), env));
+  EXPECT_TRUE(FitsInto(VType::Null(), VType::Ref("app/A"), env));
+  EXPECT_TRUE(FitsInto(VType::Int(), VType::Top(), env));
+  EXPECT_FALSE(FitsInto(VType::Top(), VType::Int(), env));
+  EXPECT_TRUE(FitsInto(VType::Int(), VType::Int(), env));
+
+  Frame wide;
+  wide.locals = {VType::Ref("app/A")};
+  Frame narrow;
+  narrow.locals = {VType::Ref("app/B")};
+  EXPECT_TRUE(FrameFits(narrow, wide, env));
+  EXPECT_FALSE(FrameFits(wide, narrow, env));
+  Frame deeper = narrow;
+  deeper.stack.push_back(VType::Int());
+  EXPECT_FALSE(FrameFits(deeper, wide, env));  // shape mismatch never fits
+}
+
 // --- Link checker (phase 4) ----------------------------------------------------
 
 class LinkCheckerTest : public ::testing::Test {

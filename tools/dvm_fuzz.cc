@@ -7,6 +7,10 @@
 //                                      print a verdict; exit 1 on violation
 //   dvm_fuzz mutate <out-dir> <seed> <count> <input>...
 //                                      emit deterministic mutants of a corpus
+//   dvm_fuzz mutate-certs <seed> <count> [input]...
+//                                      certificate adversary: emit a proof for
+//                                      every verifiable input and require that
+//                                      every tampered certificate is rejected
 //   dvm_fuzz min <file> <out>          greedy chunk-removal minimization that
 //                                      preserves the input's triage category
 //
@@ -27,6 +31,7 @@
 #include "src/bytecode/code.h"
 #include "src/bytecode/serializer.h"
 #include "src/runtime/syslib.h"
+#include "src/verifier/certificate.h"
 #include "src/verifier/verifier.h"
 
 namespace dvm {
@@ -203,6 +208,64 @@ Bytes MalformedFieldDescriptor() {
   return MustWriteClassFile(cls);
 }
 
+// A pc reachable by normal fall-through (stack depth 0) AND as an exception-
+// handler entry (stack exactly [throwable]). The merge is an inconsistent-
+// stack-depth error, but the fixpoint loop used to discard handler-merge
+// failures with a (void) cast and accept the class. Found by the
+// validator-vs-verifier differential oracle: the one-pass validator folds
+// every edge and rejected what the fixpoint accepted.
+Bytes HandlerStackMismatch() {
+  std::vector<Instr> body = {{Op::kNop, 0, 0}, {Op::kReturn, 0, 0}};
+  return MustWriteClassFile(
+      HandAssembled("()V", body, 1, 1, {{/*start=*/0, /*end=*/1, /*handler=*/1, 0}}));
+}
+
+// A handler whose entry frame needs one stack slot for the thrown reference
+// in a method declaring max_stack=0. The handler-entry construction used to
+// push_back the throwable without consulting max_stack, so the class was
+// accepted even though exception delivery writes out of the client's reserved
+// frame. The handler body pops the phantom slot so nothing else trips.
+Bytes HandlerOverflow() {
+  std::vector<Instr> body = {{Op::kNop, 0, 0},
+                             {Op::kReturn, 0, 0},
+                             {Op::kPop, 0, 0},
+                             {Op::kReturn, 0, 0}};
+  return MustWriteClassFile(
+      HandAssembled("()V", body, 0, 1, {{/*start=*/0, /*end=*/1, /*handler=*/2, 0}}));
+}
+
+// evil/E extends evil/E, and `f` athrows a value of that type. Assignability
+// walks the superclass chain, which used to loop forever on the cycle —
+// a one-class denial of service against the proxy, reachable in production
+// because the proxy adds each parsed class to the verifier's environment.
+// (HandAssembled is bypassed: it pins the super to java/lang/Object.)
+Bytes CyclicSuperAthrow() {
+  ClassBuilder cb("evil/E", "evil/E");
+  cb.AddMethod(AccessFlags::kStatic | AccessFlags::kPublic, "f", "(Levil/E;)V")
+      .Emit(Op::kReturn);
+  ClassFile cls = cb.Build().value();
+  MethodInfo* method = cls.FindMethod("f", "(Levil/E;)V");
+  method->code->code = EncodeCode({{Op::kAload, 0, 0}, {Op::kAthrow, 0, 0}}).value();
+  method->code->max_stack = 1;
+  method->code->max_locals = 1;
+  return MustWriteClassFile(cls);
+}
+
+// A handler catching java/lang/String. The catch type was never checked
+// against Throwable, so the verifier accepted a handler the runtime's
+// exception dispatch can never legitimately enter.
+Bytes CatchNonThrowable() {
+  std::vector<Instr> body = {{Op::kNop, 0, 0},
+                             {Op::kReturn, 0, 0},
+                             {Op::kPop, 0, 0},
+                             {Op::kReturn, 0, 0}};
+  ClassFile cls = HandAssembled("()V", body, 1, 1);
+  uint16_t catch_type = cls.pool().AddClass("java/lang/String");
+  cls.FindMethod("f", "()V")->code->handlers.push_back(
+      {/*start=*/0, /*end=*/1, /*handler=*/2, catch_type});
+  return MustWriteClassFile(cls);
+}
+
 struct RegressionInput {
   const char* name;
   Bytes (*make)();
@@ -222,6 +285,10 @@ const RegressionInput kRegressions[] = {
     {"code_len_4gb.bin", CodeLen4Gb},
     {"malformed_method_descriptor.bin", MalformedMethodDescriptor},
     {"malformed_field_descriptor.bin", MalformedFieldDescriptor},
+    {"handler_stack_mismatch.bin", HandlerStackMismatch},
+    {"handler_overflow.bin", HandlerOverflow},
+    {"cyclic_super_athrow.bin", CyclicSuperAthrow},
+    {"catch_nonthrowable.bin", CatchNonThrowable},
 };
 
 // Coarse outcome bucket used by `min` to preserve behaviour while shrinking.
@@ -324,6 +391,85 @@ int CmdMutate(const std::filesystem::path& out_dir, uint64_t seed, uint64_t coun
   return 0;
 }
 
+// The certificate adversary at CLI scale: verify every parseable input (each
+// against itself + the system library, the certificate plane's environment),
+// emit and self-validate its proof, then hammer the serialized certificate
+// with `count` structure-aware mutants per class. Any tampered certificate
+// the one-pass validator accepts is a soundness hole; exit 1.
+int CmdMutateCerts(uint64_t seed, uint64_t count,
+                   const std::vector<std::filesystem::path>& inputs) {
+  std::vector<Bytes> bases;
+  for (const auto& file : ExpandInputs(inputs)) {
+    bases.push_back(ReadFileBytes(file));
+  }
+  if (bases.empty()) {
+    bases = fuzz::BuiltinSeeds();
+  }
+  std::vector<ClassFile> library = BuildSystemLibrary();
+  MapClassEnv lib_env;
+  for (const ClassFile& cls : library) {
+    lib_env.Add(&cls);
+  }
+
+  uint64_t certs = 0, mutants = 0, parse_rejected = 0, validate_rejected = 0, accepted = 0;
+  fuzz::Rng rng(seed);
+  for (const Bytes& base : bases) {
+    auto parsed = ReadClassFile(base);
+    if (!parsed.ok()) {
+      continue;
+    }
+    const ClassFile& cls = parsed.value();
+    MapClassEnv self_env;
+    self_env.Add(&cls);
+    ChainedClassEnv env(&self_env, &lib_env);
+
+    ClassCertificate cert;
+    if (!VerifyClass(cls, env, &cert).ok()) {
+      continue;
+    }
+    certs++;
+    Bytes wire = SerializeCertificate(cert);
+    auto own = ParseCertificate(wire);
+    ValidateStats own_stats;
+    if (!own.ok() || !ValidateCertificate(cls, env, own.value(), &own_stats).ok()) {
+      std::fprintf(stderr, "FAIL: validator rejects the verifier's own certificate for %s\n",
+                   cls.name().c_str());
+      return 1;
+    }
+
+    for (uint64_t i = 0; i < count; i++) {
+      Bytes mutant = fuzz::MutateCertificateBytes(wire, rng);
+      if (mutant == wire) {
+        continue;
+      }
+      mutants++;
+      auto mparsed = ParseCertificate(mutant);
+      if (!mparsed.ok()) {
+        parse_rejected++;
+        continue;
+      }
+      if (mparsed.value() == cert) {
+        continue;  // re-encoded but semantically untouched
+      }
+      ValidateStats mstats;
+      if (ValidateCertificate(cls, env, mparsed.value(), &mstats).ok()) {
+        accepted++;
+        std::fprintf(stderr, "FAIL: tampered certificate for %s accepted (mutant %llu)\n",
+                     cls.name().c_str(), static_cast<unsigned long long>(i));
+      } else {
+        validate_rejected++;
+      }
+    }
+  }
+  std::printf("certs=%llu mutants=%llu parse-rejected=%llu validate-rejected=%llu "
+              "accepted=%llu (seed=%llu)\n",
+              static_cast<unsigned long long>(certs), static_cast<unsigned long long>(mutants),
+              static_cast<unsigned long long>(parse_rejected),
+              static_cast<unsigned long long>(validate_rejected),
+              static_cast<unsigned long long>(accepted), static_cast<unsigned long long>(seed));
+  return accepted > 0 ? 1 : 0;
+}
+
 int CmdMin(const std::filesystem::path& in, const std::filesystem::path& out) {
   Bytes data = ReadFileBytes(in);
   std::string category = TriageCategory(data);
@@ -357,6 +503,7 @@ int Usage() {
                "       dvm_fuzz gen-regressions <dir>\n"
                "       dvm_fuzz triage <file>...\n"
                "       dvm_fuzz mutate <out-dir> <seed> <count> [input]...\n"
+               "       dvm_fuzz mutate-certs <seed> <count> [input]...\n"
                "       dvm_fuzz min <file> <out>\n");
   return 2;
 }
@@ -387,6 +534,12 @@ int main(int argc, char** argv) {
     uint64_t count = std::strtoull(argv[4], nullptr, 10);
     return dvm::CmdMutate(rest[0], seed, count,
                           std::vector<std::filesystem::path>(rest.begin() + 3, rest.end()));
+  }
+  if (cmd == "mutate-certs" && rest.size() >= 2) {
+    uint64_t seed = std::strtoull(rest[0].c_str(), nullptr, 10);
+    uint64_t count = std::strtoull(rest[1].c_str(), nullptr, 10);
+    return dvm::CmdMutateCerts(seed, count,
+                               std::vector<std::filesystem::path>(rest.begin() + 2, rest.end()));
   }
   if (cmd == "min" && rest.size() == 2) {
     return dvm::CmdMin(rest[0], rest[1]);
