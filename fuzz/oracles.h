@@ -35,10 +35,14 @@ std::string CheckRewritePipeline(const Bytes& data);
 
 // Verifier↔interpreter differential oracle. Parses and verifies against the
 // system library; executes every static niladic method of an accepted class
-// under a small fuel/heap/frame budget. Violations: an accepted class
-// producing a host error outside the benign set (missing classes, unbound
-// natives, exhausted budgets), which would mean the verifier passed something
-// the interpreter cannot execute safely.
+// under a small fuel/heap/frame budget, on three engines in lockstep: the
+// reference interpreter (oracle), the quickened engine, and the quickened
+// engine with tier-1 compilation forced at threshold 1 (every method
+// baseline-compiled, loops entered via OSR, deopts exercised). Violations: an
+// accepted class producing a host error outside the benign set (missing
+// classes, unbound natives, exhausted budgets) on any engine, or any
+// observable divergence between engines (outcomes, error strings, guest
+// output, virtual clock, architectural counters).
 std::string CheckDifferential(const Bytes& data);
 
 // Certificate oracle, the PR-9 adversary. For a class the verifier ACCEPTS

@@ -4,6 +4,7 @@
 
 #include "src/bytecode/descriptor.h"
 #include "src/runtime/profile.h"
+#include "src/runtime/tiered.h"
 #include "src/support/interner.h"
 #include "src/verifier/link_checker.h"
 
@@ -32,6 +33,17 @@ const char* InterpreterDispatchMode() {
 }
 
 Interpreter::Interpreter(Machine& machine) : machine_(machine) {
+  const MachineConfig& config = machine_.config();
+  tier_invocation_threshold_ = config.tier_invocation_threshold;
+  tier_osr_threshold_ = config.tier_osr_threshold;
+  tier_force_deopt_ = config.tier_force_deopt;
+  // Tiering rides the quickened engine; the reference engine stays the oracle.
+  tier_enabled_ = config.quicken &&
+                  (tier_invocation_threshold_ != 0 || tier_osr_threshold_ != 0);
+  if (!tier_enabled_) {
+    tier_invocation_threshold_ = 0;
+    tier_osr_threshold_ = 0;
+  }
   previous_root_provider_ = machine_.frame_root_provider();
   machine_.SetFrameRootProvider([this](std::vector<ObjRef>* roots) {
     if (previous_root_provider_) {
@@ -105,6 +117,33 @@ Result<PreparedMethod*> Interpreter::Prepare(RuntimeClass* cls, const MethodInfo
     }
     prepared->handlers.push_back(std::move(entry));
   }
+
+  // Proxy-compiled tier-1 code (DESIGN.md §16): install the shipped blob
+  // instead of compiling locally, but only when the machine trusts the class
+  // channel (the DVM client behind the signed rewrite-cache artifact chain).
+  // Every blob is proof-checked against this method's bytecode before use;
+  // checksum or validation failure falls back to local tiering silently.
+  if (tier_enabled_ && machine_.config().trust_tiered_artifacts) {
+    if (const Attribute* attr = cls->file.FindAttribute(kAttrTieredCode)) {
+      if (auto entries = UnpackTieredAttribute(attr->data); entries.ok()) {
+        for (const auto& [id, blob] : entries.value()) {
+          if (id != method->Id()) {
+            continue;
+          }
+          auto parsed = ParseTieredBlob(blob);
+          if (parsed.ok() && parsed.value()->checksum == Fnv1a(method->code->code) &&
+              ValidateTieredMethod(*parsed.value(), prepared->code, cls->file.pool(),
+                                   method->code->max_stack, method->code->max_locals)
+                  .ok()) {
+            prepared->tier_code = std::move(parsed.value());
+            machine_.counters().tier_installs++;
+          }
+          break;
+        }
+      }
+    }
+  }
+
   PreparedMethod* out = prepared.get();
   cls->prepared[method->Id()] = std::move(prepared);
   return out;
@@ -166,6 +205,9 @@ Status Interpreter::PushFrame(RuntimeClass* cls, const MethodInfo* method,
   prepared->invocations++;
   machine_.AddNanos(machine_.config().cost.nanos_per_invoke);
   ProfileMethodEntry();
+  if (tier_enabled_) {
+    MaybeTierOnEntry(frames_.back());
+  }
   return Status::Ok();
 }
 
@@ -207,6 +249,9 @@ Status Interpreter::PushFrameSliced(RuntimeClass* cls, const MethodInfo* method,
   prepared->invocations++;
   machine_.AddNanos(machine_.config().cost.nanos_per_invoke);
   ProfileMethodEntry();
+  if (tier_enabled_) {
+    MaybeTierOnEntry(frames_.back());
+  }
   return Status::Ok();
 }
 
@@ -350,8 +395,12 @@ Result<CallOutcome> Interpreter::Loop() {
       return outcome;
     }
     if (quicken) {
-      // The quickened engine does its own per-instruction budget accounting.
-      DVM_RETURN_IF_ERROR(RunQuick());
+      // Both quickened-family engines do their own budget accounting.
+      if (frames_.back().compiled_active) {
+        DVM_RETURN_IF_ERROR(RunCompiled());
+      } else {
+        DVM_RETURN_IF_ERROR(RunQuick());
+      }
     } else {
       if (machine_.counters().instructions >= machine_.config().max_instructions) {
         return HostErr("instruction budget exceeded");
@@ -369,30 +418,63 @@ Result<bool> Interpreter::DispatchPendingException() {
     exception_class = obj->class_name;
   }
 
+  // Handler-walk memo (quickened engine only, host-time optimization): keyed
+  // by (fault instruction, exception class symbol). Entries are recorded only
+  // from walks where every subclass query resolved cleanly, so a memoized
+  // answer can never change (the class hierarchy is append-only) and the
+  // virtual clock is unaffected (subclass walks over loaded chains are free).
+  const bool memoize = machine_.config().quicken;
+  const uint64_t memo_sym = memoize ? InternSymbol(exception_class) : 0;
+
   while (!frames_.empty()) {
     ExecFrame& frame = frames_.back();
+    // Throwing always deoptimizes: any compiled frame the unwind examines
+    // resumes interpreted (its pc is synced at every potential throw point).
+    if (frame.compiled_active) {
+      frame.compiled_active = false;
+      machine_.counters().tier_deopts++;
+    }
     uint32_t fault_ix = frame.pc == 0 ? 0 : frame.pc - 1;
-    for (const auto& h : frame.prepared->handlers) {
-      if (fault_ix < h.start_ix || fault_ix >= h.end_ix) {
-        continue;
-      }
-      bool matches = h.catch_class.empty();
-      if (!matches) {
-        auto is_sub = machine_.registry().IsSubclass(exception_class, h.catch_class);
-        matches = is_sub.ok() && is_sub.value();
-      }
-      if (matches) {
-        frame.sp = frame.stack_base;
-        if (frame.sp >= frame.stack_limit) {
-          // max_stack == 0 with a live handler: the exception slot still needs
-          // a home (the verifier only meters explicit pushes).
-          EnsureArena(frame.sp + 1);
-          frame.stack_limit = frame.sp + 1;
+    int32_t handler_ix = -1;
+    bool clean = true;
+    const uint64_t memo_key = (static_cast<uint64_t>(fault_ix) << 32) | memo_sym;
+    auto memo_it = memoize ? frame.prepared->handler_memo.find(memo_key)
+                           : frame.prepared->handler_memo.end();
+    if (memoize && memo_it != frame.prepared->handler_memo.end()) {
+      handler_ix = memo_it->second;
+    } else {
+      for (size_t hi = 0; hi < frame.prepared->handlers.size(); hi++) {
+        const auto& h = frame.prepared->handlers[hi];
+        if (fault_ix < h.start_ix || fault_ix >= h.end_ix) {
+          continue;
         }
-        arena_[frame.sp++] = Value::Ref(exception);
-        frame.pc = h.handler_ix;
-        return true;
+        bool matches = h.catch_class.empty();
+        if (!matches) {
+          auto is_sub = machine_.registry().IsSubclass(exception_class, h.catch_class);
+          clean = clean && is_sub.ok();
+          matches = is_sub.ok() && is_sub.value();
+        }
+        if (matches) {
+          handler_ix = static_cast<int32_t>(hi);
+          break;
+        }
       }
+      if (memoize && clean) {
+        frame.prepared->handler_memo.emplace(memo_key, handler_ix);
+      }
+    }
+    if (handler_ix >= 0) {
+      const auto& h = frame.prepared->handlers[static_cast<size_t>(handler_ix)];
+      frame.sp = frame.stack_base;
+      if (frame.sp >= frame.stack_limit) {
+        // max_stack == 0 with a live handler: the exception slot still needs
+        // a home (the verifier only meters explicit pushes).
+        EnsureArena(frame.sp + 1);
+        frame.stack_limit = frame.sp + 1;
+      }
+      arena_[frame.sp++] = Value::Ref(exception);
+      frame.pc = h.handler_ix;
+      return true;
     }
     frames_.pop_back();
     machine_.call_stack().pop_back();
@@ -1440,7 +1522,17 @@ Status Interpreter::QuickInvokeSlow(Op op, uint32_t site_ix) {
 #define QBRANCH(target_expr)                                                  \
   do {                                                                        \
     uint32_t target_ = (target_expr);                                         \
-    if (target_ < pc) ProfileBackedge(f->prepared);                           \
+    if (target_ < pc) {                                                       \
+      ProfileBackedge(f->prepared);                                           \
+      /* OSR tier-up: a branch target is always a span head in compiled */    \
+      /* code, so a hot loop can enter its compiled form mid-execution. */    \
+      if (tier_osr_threshold_ != 0 &&                                         \
+          f->prepared->backedges >= tier_osr_threshold_) {                    \
+        QSYNC();                                                              \
+        f->pc = target_;                                                      \
+        if (MaybeOsr(*f)) return Status::Ok();                                \
+      }                                                                       \
+    }                                                                         \
     pc = target_;                                                             \
   } while (0)
 
@@ -1872,6 +1964,9 @@ Status Interpreter::RunQuick() {
       return HostErr("operand stack overflow in " + caller.method->Id());
     }
     arena_[caller.sp++] = result;
+    if (caller.compiled_active) {
+      return Status::Ok();  // resume the compiled caller via Loop
+    }
     reload();
   } NEXT();
 
@@ -1882,6 +1977,9 @@ Status Interpreter::RunQuick() {
       return_value_ = Value::Null();
       has_return_value_ = false;
       return Status::Ok();
+    }
+    if (frames_.back().compiled_active) {
+      return Status::Ok();  // resume the compiled caller via Loop
     }
     reload();
   } NEXT();
@@ -2015,8 +2113,9 @@ Status Interpreter::RunQuick() {
   OP(kInvokestatic) OP(kInvokevirtual) OP(kInvokespecial) {
     QSYNC();
     DVM_RETURN_IF_ERROR(QuickInvokeSlow(inst.op, pc - 1));
-    if (machine_.HasPendingException() || frames_.empty()) {
-      return Status::Ok();
+    if (machine_.HasPendingException() || frames_.empty() ||
+        frames_.back().compiled_active) {
+      return Status::Ok();  // exit to Loop; a compiled callee re-enters there
     }
     reload();
   } NEXT();
@@ -2029,8 +2128,9 @@ Status Interpreter::RunQuick() {
     }
     QSYNC();
     DVM_RETURN_IF_ERROR(InvokeResolved(ic.invoke_owner, ic.invoke_method, argc));
-    if (machine_.HasPendingException() || frames_.empty()) {
-      return Status::Ok();
+    if (machine_.HasPendingException() || frames_.empty() ||
+        frames_.back().compiled_active) {
+      return Status::Ok();  // exit to Loop; a compiled callee re-enters there
     }
     reload();
   } NEXT();
@@ -2047,8 +2147,9 @@ Status Interpreter::RunQuick() {
     }
     QSYNC();
     DVM_RETURN_IF_ERROR(InvokeResolved(ic.invoke_owner, ic.invoke_method, argc));
-    if (machine_.HasPendingException() || frames_.empty()) {
-      return Status::Ok();
+    if (machine_.HasPendingException() || frames_.empty() ||
+        frames_.back().compiled_active) {
+      return Status::Ok();  // exit to Loop; a compiled callee re-enters there
     }
     reload();
   } NEXT();
@@ -2076,8 +2177,9 @@ Status Interpreter::RunQuick() {
     } else {
       DVM_RETURN_IF_ERROR(QuickInvokeSlow(Op::kInvokevirtual, pc - 1));
     }
-    if (machine_.HasPendingException() || frames_.empty()) {
-      return Status::Ok();
+    if (machine_.HasPendingException() || frames_.empty() ||
+        frames_.back().compiled_active) {
+      return Status::Ok();  // exit to Loop; a compiled callee re-enters there
     }
     reload();
   } NEXT();

@@ -1,0 +1,149 @@
+// Tier-1 baseline compiler (DESIGN.md §16): compiles hot methods from decoded
+// bytecode into a linear superinstruction form executed by a register-style
+// dispatch loop (Interpreter::RunCompiled) that bypasses per-instruction
+// decode. The compiled form is segmented into basic-block *spans*; each span
+// head carries the span's instruction charge so the virtual clock and the
+// architectural counters advance exactly as the interpreter would, and every
+// span head doubles as a deoptimization point (compiled-pc -> bytecode-pc).
+//
+// BaselineCompile is a deterministic pure function of (code, pool): the proxy
+// and every replica produce byte-identical blobs for the same method, which is
+// what lets replicas validate a pushed artifact's blob by recompiling and
+// byte-comparing (the PR 9 proof-check philosophy applied to compiled code).
+#ifndef SRC_RUNTIME_TIERED_H_
+#define SRC_RUNTIME_TIERED_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/bytecode/code.h"
+#include "src/bytecode/constant_pool.h"
+#include "src/support/result.h"
+
+namespace dvm {
+
+// Compiled opcodes. Pure ops have self-described stack effects and execute
+// without any per-instruction bookkeeping; checked ops synchronize the frame
+// and re-dispatch through the live bytecode site (so lazy quickening and the
+// inline caches stay authoritative), and always terminate a span.
+enum class TOp : uint8_t {
+  kNop = 0,
+  kConstI,    // push int immediate a
+  kConstL,    // push long consts[a]
+  kConstNull, // push null reference
+  kLoad,      // push locals[a]
+  kStore,     // locals[a] = pop
+  kIinc,      // int locals[a] += b (wrapping)
+  kPop,
+  kDup,
+  kDupX1,
+  kSwap,
+  kIAlu,      // int binop `sub` over the top two slots
+  kLAlu,      // long binop `sub`
+  kIneg,
+  kLneg,
+  kI2l,
+  kL2i,
+  kLcmp,
+  // Fused superinstructions (pure, within one span):
+  kAluLL,     // push locals[a] `sub` locals[b]
+  kAluLC,     // push locals[a] `sub` imm b
+  kAluLLS,    // locals[c] = locals[a] `sub` locals[b]
+  kAluLCS,    // locals[c] = locals[a] `sub` imm b
+  // Branches (span terminators; targets are compiled indices):
+  kGoto,      // ci = a
+  kBrI,       // pop v; if (cond sub)(v, 0) ci = a
+  kBrII,      // pop r, l; if (icmp sub)(l, r) ci = a
+  kBrA,       // reference conds (ifnull/ifnonnull/if_acmpeq/ne) via sub; ci = a
+  kBrLL,      // if (icmp sub)(locals[a], locals[b]) ci = c   (fused)
+  kBrLC,      // if (icmp sub)(locals[a], imm b) ci = c       (fused)
+  // Checked ops (span terminators):
+  kDivRem,    // idiv/irem/ldiv/lrem via sub
+  kArrLoad,   // iaload/laload/aaload via sub
+  kArrStore,  // iastore/lastore/aastore via sub
+  kArrLen,
+  kField,     // get/put field/static; dispatches on the live (quickened) site
+  kInvoke,    // a = argc incl. receiver, b = 1 if a result is pushed
+  kNew,
+  kNewArray,  // a = ArrayKind
+  kANewArray,
+  kRet,       // return forms via sub
+  kLastTOp = kRet,
+};
+
+// Set on branches whose source target precedes the branch (taken => backedge
+// profile tick, mirroring the interpreter's QBRANCH exactly).
+inline constexpr uint16_t kTierFlagBackward = 1;
+
+struct CInstr {
+  TOp op = TOp::kNop;
+  uint8_t sub = 0;     // source Op byte for ALU / branch-cond / checked dispatch
+  uint16_t flags = 0;
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t c = 0;
+  // First covered source-instruction index. Span heads deopt here on budget
+  // exhaustion; checked ops resume the interpreter at bc + 1.
+  uint32_t bc = 0;
+  // Span head: number of source instructions in the span (charged in bulk
+  // before the span executes, matching the interpreter's fetch-time charging).
+  // Interior instructions carry 0.
+  uint32_t charge = 0;
+};
+
+struct TieredMethod {
+  std::vector<CInstr> code;
+  std::vector<int64_t> consts;     // long constant table (kConstL)
+  // bytecode index -> compiled index, one entry per span head. Every branch
+  // target and every deopt resume point is a span head.
+  std::unordered_map<uint32_t, uint32_t> entry;
+  uint32_t checksum = 0;           // Fnv1a over the method's encoded bytes
+  uint32_t max_stack = 0;
+  uint32_t max_locals = 0;
+  uint32_t source_len = 0;         // decoded source instruction count
+  // Set on megamorphic transition or class redefinition; compiled frames
+  // observe it at span boundaries and deoptimize.
+  bool invalidated = false;
+};
+
+// Compiles decoded bytecode to tiered form. Returns nullptr when the method
+// uses a construct outside the tier-1 subset (athrow, monitors, checkcast/
+// instanceof, string constants, unreachable code, ...) or fails the
+// stack-depth analysis; such methods stay on the quickened interpreter.
+std::unique_ptr<TieredMethod> BaselineCompile(const std::vector<Instr>& code,
+                                              const ConstantPool& pool,
+                                              uint32_t max_stack, uint32_t max_locals);
+
+// Blob form carried by the kAttrTieredCode class attribute.
+Bytes SerializeTieredMethod(const TieredMethod& t);
+Result<std::unique_ptr<TieredMethod>> ParseTieredBlob(const Bytes& blob);
+
+// Proof-checks a parsed blob against the method it claims to accelerate:
+// abstract interpretation over the compiled form validating stack depths,
+// local indices, branch targets, span charges and per-site agreement with the
+// live bytecode (checked ops must name the site's op family; invoke arity is
+// re-derived from the pool). A blob that passes cannot move sp or a local
+// index out of bounds at runtime.
+Status ValidateTieredMethod(const TieredMethod& t, const std::vector<Instr>& code,
+                            const ConstantPool& pool, uint32_t max_stack,
+                            uint32_t max_locals);
+
+// FNV-1a over raw bytes; ties a blob to the exact encoded method body.
+uint32_t Fnv1a(const Bytes& data);
+
+// kAttrTieredCode payload: sorted list of ("name:descriptor", blob).
+Bytes PackTieredAttribute(const std::vector<std::pair<std::string, Bytes>>& blobs);
+Result<std::vector<std::pair<std::string, Bytes>>> UnpackTieredAttribute(const Bytes& data);
+
+// Maps quick forms to their raw source op (identity for raw ops). Compiling
+// from a partially quickened body and from pristine bytecode must produce the
+// same blob.
+Op NormalizeQuickOp(Op op);
+
+}  // namespace dvm
+
+#endif  // SRC_RUNTIME_TIERED_H_
